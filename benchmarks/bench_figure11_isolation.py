@@ -1,0 +1,85 @@
+"""Experiment E2 — paper Figure 11: isolating memory management vs plan
+modification.
+
+The paper reruns the medium and complex queries with the algorithm in two
+restricted modes — improved statistics used *only* for memory management,
+and *only* for plan modification.  Expected shape: medium queries benefit
+only from improved memory management; complex queries benefit from both,
+with the larger share coming from plan modification.
+
+At laptop scale no single catalog-staleness setting produces both memory
+pressure on the medium queries and plan-switch opportunities on the complex
+ones (the paper's 3 GB scale produced both naturally), so the two query
+classes run under the staleness profile that recreates their respective
+error regime — documented in DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.bench import ExperimentConfig, comparison_table, run_experiment
+from repro.core.modes import DynamicMode
+from repro.workloads.tpcd import COMPLEX_QUERIES, CatalogProfile, MEDIUM_QUERIES
+
+MODES = (
+    DynamicMode.OFF,
+    DynamicMode.MEMORY_ONLY,
+    DynamicMode.PLAN_ONLY,
+    DynamicMode.FULL,
+)
+
+#: Medium queries: over-estimated dimension table -> min-granted operators
+#: that observation upgrades (memory pressure regime).
+MEDIUM_CONFIG = ExperimentConfig(
+    scale_factor=0.01, memory_pages=96,
+    catalog=CatalogProfile.STALE, stale_row_factor=0.5,
+)
+#: Complex queries: coarse histograms + correlations -> underestimates that
+#: trigger plan modification.
+COMPLEX_CONFIG = ExperimentConfig(scale_factor=0.01, memory_pages=192)
+
+
+def test_figure11_isolation(benchmark, results_dir):
+    def run():
+        medium = run_experiment(MEDIUM_CONFIG, queries=MEDIUM_QUERIES, modes=MODES)
+        complex_ = run_experiment(COMPLEX_CONFIG, queries=COMPLEX_QUERIES, modes=MODES)
+        return medium + complex_
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = comparison_table(
+        comparisons, list(MODES),
+        title="Figure 11 — isolating memory management vs plan modification",
+    )
+    write_result(results_dir, "figure11_isolation", table)
+
+    by_name = {c.query.name: c for c in comparisons}
+    benchmark.extra_info["memory_only_pct"] = {
+        n: round(c.improvement_pct(DynamicMode.MEMORY_ONLY), 1)
+        for n, c in by_name.items()
+    }
+    benchmark.extra_info["plan_only_pct"] = {
+        n: round(c.improvement_pct(DynamicMode.PLAN_ONLY), 1)
+        for n, c in by_name.items()
+    }
+
+    assert all(c.row_sets_match for c in comparisons)
+
+    # Medium queries benefit only from improved memory management: at least
+    # one shows a memory-only gain, and neither switches plans.
+    assert any(
+        by_name[n].improvement_pct(DynamicMode.MEMORY_ONLY) > 2.0
+        for n in ("Q3", "Q10")
+    )
+    for n in ("Q3", "Q10"):
+        assert by_name[n].profiles["plan-only"].plan_switches == 0
+
+    # Complex queries: plan modification dominates.
+    plan_gains = [
+        by_name[n].improvement_pct(DynamicMode.PLAN_ONLY) for n in ("Q5", "Q7", "Q8")
+    ]
+    memory_gains = [
+        by_name[n].improvement_pct(DynamicMode.MEMORY_ONLY) for n in ("Q5", "Q7", "Q8")
+    ]
+    assert max(plan_gains) > 10.0
+    assert max(plan_gains) > max(memory_gains)

@@ -1,0 +1,83 @@
+"""Experiment E7 — ablating the statistics-collectors insertion algorithm.
+
+Section 2.5's trade-off: collecting at too many points costs too much;
+collecting at too few misses re-optimization opportunities.  This ablation
+runs a complex query with three budgets:
+
+* ``mu = 0``   — every budgeted statistic pruned (bare collectors only),
+* ``mu = 0.05`` — the paper's default,
+* ``mu = 1.0`` — effectively everything kept,
+
+and reports overhead and achieved improvement.  The default budget should
+capture (nearly) all of the improvement of unlimited collection while
+spending less on statistics.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro import Database, DynamicMode, EngineConfig
+from repro.bench import render_table
+from repro.config import ReoptimizationParameters
+from repro.workloads.synthetic import (
+    RUNNING_EXAMPLE_SQL,
+    SyntheticConfig,
+    build_running_example,
+)
+
+PARAMS = {"value1": 80, "value2": 80}
+DATA = SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
+
+
+def _run(mu: float):
+    db = Database(EngineConfig().with_updates(reopt=ReoptimizationParameters(mu=mu)))
+    build_running_example(db, DATA)
+    off = db.execute(RUNNING_EXAMPLE_SQL, params=PARAMS, mode=DynamicMode.OFF)
+    full = db.execute(RUNNING_EXAMPLE_SQL, params=PARAMS, mode=DynamicMode.FULL)
+    return off.profile, full.profile
+
+
+def test_scia_budget_ablation(benchmark, results_dir):
+    def run():
+        return {mu: _run(mu) for mu in (0.0, 0.05, 1.0)}
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    summary = {}
+    for mu, (off, full) in outcomes.items():
+        improvement = 100 * (1 - full.total_cost / off.total_cost)
+        rows.append(
+            [
+                f"{mu:g}",
+                str(full.statistics_kept),
+                str(full.statistics_dropped),
+                f"{full.breakdown.stats_cpu:.1f}",
+                f"{improvement:.1f}%",
+                str(full.plan_switches),
+            ]
+        )
+        summary[mu] = {
+            "kept": full.statistics_kept,
+            "stats_cpu": round(full.breakdown.stats_cpu, 1),
+            "improvement_pct": round(improvement, 1),
+        }
+    table = render_table(
+        ["mu", "stats kept", "dropped", "stats cpu", "improvement", "switches"],
+        rows,
+        title="SCIA budget ablation on the running example",
+    )
+    write_result(results_dir, "scia_ablation", table)
+    benchmark.extra_info["by_mu"] = {str(k): v for k, v in summary.items()}
+
+    zero, default, unlimited = outcomes[0.0], outcomes[0.05], outcomes[1.0]
+    # Budget pruning is monotone in kept statistics and collection cost.
+    assert zero[1].statistics_kept == 0
+    assert default[1].statistics_kept <= unlimited[1].statistics_kept
+    assert zero[1].breakdown.stats_cpu <= default[1].breakdown.stats_cpu + 1e-9
+    assert default[1].breakdown.stats_cpu <= unlimited[1].breakdown.stats_cpu + 1e-9
+    # The default budget achieves (essentially) the unlimited improvement.
+    default_improvement = 1 - default[1].total_cost / default[0].total_cost
+    unlimited_improvement = 1 - unlimited[1].total_cost / unlimited[0].total_cost
+    assert default_improvement >= unlimited_improvement - 0.02

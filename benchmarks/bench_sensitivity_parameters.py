@@ -1,0 +1,76 @@
+"""Experiment E6 — sensitivity to mu, theta1 and theta2.
+
+The paper defers its sensitivity analysis to Kabra's thesis [12]; this
+ablation sweeps each parameter on the running example (where the optimizer
+under-estimates a correlated filter) and reports when re-optimization stops
+firing:
+
+* theta2 (sub-optimality drift gate): small values re-optimize eagerly,
+  values above the actual drift suppress re-optimization entirely;
+* theta1 (optimization-cost gate): large values always pass; tiny values
+  suppress re-optimization on short queries;
+* mu (collection budget): zero drops every budgeted statistic but keeps the
+  free cardinality counts — re-optimization still works off cardinality.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro import Database, DynamicMode, EngineConfig
+from repro.bench import render_table
+from repro.config import ReoptimizationParameters
+from repro.workloads.synthetic import (
+    RUNNING_EXAMPLE_SQL,
+    SyntheticConfig,
+    build_running_example,
+)
+
+PARAMS = {"value1": 80, "value2": 80}
+DATA = SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
+
+
+def _run(reopt: ReoptimizationParameters):
+    db = Database(EngineConfig().with_updates(reopt=reopt))
+    build_running_example(db, DATA)
+    off = db.execute(RUNNING_EXAMPLE_SQL, params=PARAMS, mode=DynamicMode.OFF)
+    full = db.execute(RUNNING_EXAMPLE_SQL, params=PARAMS, mode=DynamicMode.FULL)
+    improvement = 100 * (1 - full.profile.total_cost / off.profile.total_cost)
+    return improvement, full.profile.plan_switches
+
+
+def test_parameter_sensitivity(benchmark, results_dir):
+    def run():
+        grid = {}
+        for theta2 in (0.05, 0.2, 1.0, 10.0):
+            grid[("theta2", theta2)] = _run(ReoptimizationParameters(theta2=theta2))
+        for theta1 in (0.001, 0.05, 0.5):
+            grid[("theta1", theta1)] = _run(ReoptimizationParameters(theta1=theta1))
+        for mu in (0.0, 0.05, 0.5):
+            grid[("mu", mu)] = _run(ReoptimizationParameters(mu=mu))
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [param, str(value), f"{improvement:.1f}%", str(switches)]
+        for (param, value), (improvement, switches) in grid.items()
+    ]
+    table = render_table(
+        ["parameter", "value", "improvement", "switches"],
+        rows,
+        title="Sensitivity of Dynamic Re-Optimization to mu, theta1, theta2",
+    )
+    write_result(results_dir, "sensitivity_parameters", table)
+    benchmark.extra_info["grid"] = {
+        f"{p}={v}": {"improvement_pct": round(i, 1), "switches": s}
+        for (p, v), (i, s) in grid.items()
+    }
+
+    # theta2 at the paper's default fires; an absurdly large theta2 does not.
+    assert grid[("theta2", 0.2)][1] >= 1
+    assert grid[("theta2", 10.0)][1] == 0
+    # A generous theta1 still fires on this (expensive) query.
+    assert grid[("theta1", 0.5)][1] >= 1
+    # With mu = 0 re-optimization still works from free cardinality counts.
+    assert grid[("mu", 0.0)][1] >= 1

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures.  Simulated
+execution times (the reproduction's measurements) are written to
+``results/<experiment>.txt`` next to this directory and attached to the
+pytest-benchmark ``extra_info`` so ``--benchmark-json`` exports carry them.
+Wall-clock times measured by pytest-benchmark only describe the harness
+itself, not the reproduction's metric.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting the per-experiment reproduction tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    """Persist one experiment's table (also echoed for ``-s`` runs)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")

@@ -1,0 +1,66 @@
+"""Dynamic memory re-allocation (the paper's Figure 3 walk-through).
+
+The catalog over-estimates the filter's output (anti-correlated selection
+attributes), so the Memory Manager believes the second hash join's maximum
+memory demand cannot be satisfied and grants it only the minimum — a
+two-pass, spilling execution.  The statistics collector observes the true
+(smaller) cardinality, the Memory Manager is re-invoked, and the join runs
+in one pass.
+
+Run with::
+
+    python examples/memory_reallocation.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, DynamicMode, EngineConfig
+from repro.workloads.synthetic import SyntheticConfig, build_running_example
+
+SQL = (
+    "SELECT avg(rel1.selectattr1), avg(rel1.selectattr2), rel1.groupattr "
+    "FROM rel1, rel2, rel3 "
+    "WHERE rel1.selectattr1 < 60 AND rel1.selectattr2 < 60 "
+    "AND rel1.joinattr2 = rel2.joinattr2 "
+    "AND rel1.joinattr3 = rel3.joinattr3 "
+    "GROUP BY rel1.groupattr"
+)
+
+
+def main() -> None:
+    # 210 pages ~ 860 KB of workspace memory: enough for the joins only if
+    # the second join's build input is as small as it actually is, not as
+    # large as the optimizer believes.
+    db = Database(EngineConfig().with_updates(query_memory_pages=210))
+    build_running_example(
+        db,
+        SyntheticConfig(
+            rel1_rows=20_000,
+            rel2_rows=8_000,
+            rel3_rows=60_000,
+            correlation=-1.0,  # anti-correlated: the optimizer over-estimates
+            index_rel3=False,
+        ),
+    )
+
+    off = db.execute(SQL, mode=DynamicMode.OFF)
+    memory = db.execute(SQL, mode=DynamicMode.MEMORY_ONLY)
+
+    print("=== normal execution (static memory allocation) ===")
+    print(off.profile.summary())
+    print(f"  spill writes: {off.profile.breakdown.write:.1f} cost units")
+    print()
+    print("=== with dynamic memory re-allocation ===")
+    print(memory.profile.summary())
+    print(f"  spill writes: {memory.profile.breakdown.write:.1f} cost units")
+    print()
+    improvement = 100 * (1 - memory.profile.total_cost / off.profile.total_cost)
+    print(
+        f"simulated execution time: {off.profile.total_cost:.1f} -> "
+        f"{memory.profile.total_cost:.1f} ({improvement:.1f}% improvement), "
+        f"{memory.profile.memory_reallocations} re-allocation(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Quickstart: create tables, load data, run queries, inspect profiles.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Database, DataType, DynamicMode
+
+
+def main() -> None:
+    db = Database()
+    rng = random.Random(7)
+
+    # -- schema and data ---------------------------------------------------
+    db.create_table(
+        "employees",
+        [
+            ("emp_id", DataType.INTEGER),
+            ("dept_id", DataType.INTEGER),
+            ("salary", DataType.FLOAT),
+            ("hired", DataType.DATE),
+        ],
+        key=["emp_id"],
+    )
+    db.create_table(
+        "departments",
+        [
+            ("dept_id", DataType.INTEGER),
+            ("name", DataType.STRING),
+            ("budget", DataType.FLOAT),
+        ],
+        key=["dept_id"],
+    )
+
+    from repro import date_to_int
+
+    db.load_rows(
+        "departments",
+        [(d, f"dept-{d}", rng.uniform(1e5, 1e6)) for d in range(20)],
+    )
+    db.load_rows(
+        "employees",
+        [
+            (
+                i,
+                rng.randrange(20),
+                rng.uniform(40_000, 180_000),
+                date_to_int("2015-01-01") + rng.randrange(3000),
+            )
+            for i in range(50_000)
+        ],
+    )
+
+    # ANALYZE builds the optimizer's statistics (MaxDiff histograms).
+    db.analyze()
+    db.create_index("ix_emp_dept", "employees", "dept_id", clustered=True)
+
+    # -- EXPLAIN -----------------------------------------------------------
+    sql = (
+        "SELECT d.name, count(*) AS headcount, avg(e.salary) AS avg_salary "
+        "FROM employees e, departments d "
+        "WHERE e.dept_id = d.dept_id AND e.salary > 100000 "
+        "GROUP BY d.name ORDER BY avg_salary DESC LIMIT 5"
+    )
+    print("=== EXPLAIN (with statistics collectors inserted) ===")
+    print(db.explain(sql))
+    print()
+
+    # -- execute with Dynamic Re-Optimization enabled -----------------------
+    result = db.execute(sql, mode=DynamicMode.FULL)
+    print("=== top 5 departments by average high salary ===")
+    print(result.format_table())
+    print()
+    print("=== execution profile ===")
+    print(result.profile.summary())
+
+    # -- host-variable parameters ---------------------------------------------
+    parameterized = db.execute(
+        "SELECT count(*) AS n FROM employees WHERE salary > :threshold",
+        params={"threshold": 150_000},
+        mode=DynamicMode.OFF,
+    )
+    print()
+    print(f"employees above :threshold -> {parameterized.rows[0][0]}")
+
+
+if __name__ == "__main__":
+    main()

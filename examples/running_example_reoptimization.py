@@ -1,0 +1,74 @@
+"""The paper's running example, end to end (Figures 1-2 and 4-6).
+
+Rel1's two selection attributes are perfectly correlated, but the optimizer
+multiplies their selectivities (the independence assumption), so the
+three-way join plan is built for a far smaller intermediate result than the
+one that actually shows up.  The statistics collector after the filter
+observes the real cardinality; Dynamic Re-Optimization materialises the
+in-flight join's output to a temporary table, regenerates SQL for the
+remainder of the query, re-optimizes it, and finishes under the better plan.
+
+Run with::
+
+    python examples/running_example_reoptimization.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, DynamicMode
+from repro.workloads.synthetic import (
+    RUNNING_EXAMPLE_SQL,
+    SyntheticConfig,
+    build_running_example,
+)
+
+
+def main() -> None:
+    db = Database()
+    build_running_example(
+        db,
+        SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0),
+    )
+    params = {"value1": 80, "value2": 80}
+
+    print("query (paper Figure 1):")
+    print(" ", RUNNING_EXAMPLE_SQL)
+    print()
+    print("=== initial annotated plan with collectors (paper Figure 2) ===")
+    print(db.explain(RUNNING_EXAMPLE_SQL, params=params))
+    print()
+
+    off = db.execute(RUNNING_EXAMPLE_SQL, params=params, mode=DynamicMode.OFF)
+    full = db.execute(RUNNING_EXAMPLE_SQL, params=params, mode=DynamicMode.FULL)
+
+    print("=== normal execution (no re-optimization) ===")
+    print(off.profile.summary())
+    print()
+    print("=== with Dynamic Re-Optimization ===")
+    print(full.profile.summary())
+    print()
+
+    for i, sql in enumerate(full.profile.remainder_sqls, start=1):
+        print(f"remainder query #{i} (paper Figure 6):")
+        print(" ", sql)
+        print()
+
+    if full.profile.plan_switches:
+        print("plan adopted after the switch:")
+        print(full.profile.plan_explanations[-1])
+        print()
+
+    improvement = 100 * (1 - full.profile.total_cost / off.profile.total_cost)
+    print(
+        f"simulated execution time: normal={off.profile.total_cost:.1f}, "
+        f"re-optimized={full.profile.total_cost:.1f} "
+        f"({improvement:.1f}% improvement)"
+    )
+    assert sorted(map(str, off.rows)) == sorted(map(str, full.rows)), (
+        "both executions must return identical results"
+    )
+    print("result sets are identical across modes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Skewed data and histogram quality (paper Figure 12 and section 2.2).
+
+Shows two things on a Zipf-skewed TPC-D database:
+
+1. how the histogram *kind* changes estimation quality under skew —
+   serial-class histograms (MaxDiff) stay accurate where equi-width ones
+   drift, which is why the paper's inaccuracy-potential rules rank them
+   differently; and
+2. how Dynamic Re-Optimization behaves on a complex query when the data is
+   skewed (z = 0.6).
+
+Run with::
+
+    python examples/skewed_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, DynamicMode, HistogramKind
+from repro.stats.histogram import build_equi_width, build_maxdiff
+from repro.stats.zipf import ZipfGenerator
+from repro.workloads.tpcd import TpcdConfig, generate_tpcd, query_by_name
+
+
+def histogram_accuracy_demo() -> None:
+    print("=== histogram accuracy under skew (z = 1.0) ===")
+    values = ZipfGenerator(1000, 1.0, seed=3, permute=True).sample_list(50_000)
+    true_frequency = values.count(values[0]) / len(values)
+    equi_width = build_equi_width(values, 16)
+    maxdiff = build_maxdiff(values, 16)
+    probe = values[0]
+    print(f"true selectivity of most-sampled value {probe}: {true_frequency:.4f}")
+    print(f"  equi-width estimate: {equi_width.selectivity_eq(probe):.4f}")
+    print(f"  MaxDiff estimate:    {maxdiff.selectivity_eq(probe):.4f}")
+    print()
+
+
+def skewed_tpcd_demo() -> None:
+    print("=== Q7 on skewed TPC-D (z = 0.6) ===")
+    db = Database()
+    generate_tpcd(db, TpcdConfig(scale_factor=0.005, zipf_z=0.6))
+    query = query_by_name("Q7")
+    off = db.execute(query.sql, mode=DynamicMode.OFF)
+    full = db.execute(query.sql, mode=DynamicMode.FULL)
+    improvement = 100 * (1 - full.profile.total_cost / off.profile.total_cost)
+    print(
+        f"normal: {off.profile.total_cost:.1f}; re-optimized: "
+        f"{full.profile.total_cost:.1f} ({improvement:.1f}% improvement, "
+        f"{full.profile.plan_switches} switch(es))"
+    )
+
+
+def main() -> None:
+    histogram_accuracy_demo()
+    skewed_tpcd_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""A decision-support session over the TPC-D workload (paper section 3.2).
+
+Generates a small-scale TPC-D database, then runs the paper's seven queries
+under Normal and Re-Optimized execution, printing a Figure-10-style table.
+
+Run with::
+
+    python examples/tpcd_analyst_session.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ExperimentConfig, comparison_table, run_experiment
+from repro.core.modes import DynamicMode
+from repro.workloads.tpcd import ALL_QUERIES
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.005
+    config = ExperimentConfig(scale_factor=scale_factor, memory_pages=192)
+    print(
+        f"generating TPC-D at SF {scale_factor} "
+        f"(~{int(6_000_000 * scale_factor)} lineitems) ..."
+    )
+    comparisons = run_experiment(
+        config, modes=(DynamicMode.OFF, DynamicMode.FULL)
+    )
+    print()
+    print(
+        comparison_table(
+            comparisons,
+            [DynamicMode.OFF, DynamicMode.FULL],
+            title="Normal vs Re-Optimized execution (normalized, Normal = 100)",
+        )
+    )
+    print()
+    mismatches = [c.query.name for c in comparisons if not c.row_sets_match]
+    if mismatches:
+        print(f"WARNING: result mismatches in {mismatches}")
+    else:
+        print("all queries returned identical results under both modes.")
+
+
+if __name__ == "__main__":
+    main()

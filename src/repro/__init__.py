@@ -1,0 +1,50 @@
+"""repro: a reproduction of Kabra & DeWitt's Dynamic Re-Optimization
+("Efficient Mid-Query Re-Optimization of Sub-Optimal Query Execution
+Plans", SIGMOD 1998).
+
+The package implements, from scratch, a small disk-based relational engine
+(storage, statistics, SQL front end, System-R optimizer, memory manager,
+iterator executor) and, on top of it, the paper's Dynamic Re-Optimization
+algorithm: run-time statistics collectors placed by the SCIA, dynamic
+memory re-allocation, and mid-query plan modification via temp-table
+materialisation.
+
+Quickstart::
+
+    from repro import Database, DynamicMode, DataType
+
+    db = Database()
+    db.create_table("r", [("id", DataType.INTEGER), ("a", DataType.INTEGER)], key=["id"])
+    db.load_rows("r", [(i, i % 10) for i in range(1000)])
+    db.analyze()
+    result = db.execute("SELECT a, count(*) FROM r GROUP BY a", mode=DynamicMode.FULL)
+"""
+
+from .config import CostParameters, EngineConfig, ReoptimizationParameters
+from .core.modes import DynamicMode
+from .engine.database import Database
+from .engine.profile import ExecutionProfile
+from .engine.results import QueryResult
+from .errors import ReproError
+from .stats.histogram import HistogramKind
+from .storage.schema import Column, DataType, Schema, date_to_int, int_to_date
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "CostParameters",
+    "DataType",
+    "Database",
+    "DynamicMode",
+    "EngineConfig",
+    "ExecutionProfile",
+    "HistogramKind",
+    "QueryResult",
+    "ReoptimizationParameters",
+    "ReproError",
+    "Schema",
+    "date_to_int",
+    "int_to_date",
+    "__version__",
+]

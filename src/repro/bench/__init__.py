@@ -1,0 +1,22 @@
+"""Benchmark harness: experiment configs, runners and table rendering."""
+
+from .harness import (
+    ExperimentConfig,
+    QueryComparison,
+    build_database,
+    rows_equivalent,
+    run_comparison,
+    run_experiment,
+)
+from .reporting import comparison_table, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "QueryComparison",
+    "build_database",
+    "comparison_table",
+    "render_table",
+    "rows_equivalent",
+    "run_comparison",
+    "run_experiment",
+]

@@ -1,0 +1,61 @@
+"""Rendering experiment results as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.modes import DynamicMode
+from .harness import QueryComparison
+
+
+def comparison_table(
+    comparisons: Sequence[QueryComparison],
+    modes: Sequence[DynamicMode],
+    baseline: DynamicMode = DynamicMode.OFF,
+    title: str = "",
+) -> str:
+    """A normalized-execution-time table (baseline mode = 100).
+
+    Matches the presentation of the paper's Figures 10-12: one row per
+    query, one column per mode, values normalized to the Normal (OFF) run.
+    """
+    headers = ["query", "category", "joins"] + [m.value for m in modes] + [
+        "improvement%",
+        "switches",
+        "reallocs",
+    ]
+    rows: list[list[str]] = []
+    for comp in comparisons:
+        row = [comp.query.name, comp.query.category, str(comp.query.join_count)]
+        for mode in modes:
+            row.append(f"{comp.normalized(mode, baseline):.1f}")
+        best = max(
+            (m for m in modes if m is not baseline),
+            key=lambda m: comp.improvement_pct(m, baseline),
+            default=baseline,
+        )
+        row.append(f"{comp.improvement_pct(best, baseline):.1f}")
+        full = comp.profiles.get(DynamicMode.FULL.value) or next(
+            (comp.profiles[m.value] for m in modes if m is not baseline), None
+        )
+        row.append(str(full.plan_switches if full else 0))
+        row.append(str(full.memory_reallocations if full else 0))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Align headers and rows into a fixed-width text table."""
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Dynamic Re-Optimization: the paper's primary contribution."""
+
+from .improve import (
+    apply_improved_estimates,
+    blocking_consumer,
+    observed_profiles,
+    remaining_cost,
+)
+from .inaccuracy import InaccuracyAnalysis, InaccuracyPotential
+from .modes import DynamicMode
+from .parametric import (
+    ParametricOptimizer,
+    ParametricPlan,
+    Scenario,
+    actual_parameter_selectivity,
+    choose_plan,
+    has_parameter_predicates,
+)
+from .remainder import RemainderQuery, build_remainder, temp_table_stats
+from .reoptimizer import DynamicReoptimizer, ReoptimizationEvent
+from .scia import CandidateStatistic, SciaResult, enumerate_candidates, insert_collectors
+from .triggers import TriggerDecision, accept_new_plan, should_consider_reoptimization
+
+__all__ = [
+    "CandidateStatistic",
+    "DynamicMode",
+    "DynamicReoptimizer",
+    "InaccuracyAnalysis",
+    "InaccuracyPotential",
+    "ParametricOptimizer",
+    "ParametricPlan",
+    "Scenario",
+    "RemainderQuery",
+    "ReoptimizationEvent",
+    "SciaResult",
+    "TriggerDecision",
+    "accept_new_plan",
+    "actual_parameter_selectivity",
+    "choose_plan",
+    "has_parameter_predicates",
+    "apply_improved_estimates",
+    "blocking_consumer",
+    "build_remainder",
+    "enumerate_candidates",
+    "insert_collectors",
+    "observed_profiles",
+    "remaining_cost",
+    "should_consider_reoptimization",
+    "temp_table_stats",
+]

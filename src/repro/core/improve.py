@@ -1,0 +1,133 @@
+"""Improved estimates (paper section 2.2).
+
+When a statistics collector completes, its observed statistics replace the
+optimizer's estimates at that plan point and everything downstream is
+re-derived.  Concretely:
+
+* :func:`apply_improved_estimates` re-annotates the current plan with
+  profile overrides at every completed collector (using the current memory
+  grants), producing *improved* per-node estimates in place;
+* :func:`remaining_cost` computes how much simulated time the current plan
+  still needs under those improved estimates — completed operators cost
+  nothing more, the in-flight blocking consumer only owes its probe phase;
+* ``T_cur_plan,improved = elapsed + remaining`` feeds the re-optimization
+  triggers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..executor.collector import ObservedStatistics
+from ..executor.runtime import RuntimeContext
+from ..optimizer.cost_model import CostModel, pages_for
+from ..optimizer.optimizer import Optimizer
+from ..plans.physical import (
+    HashJoinNode,
+    PlanNode,
+    StatsCollectorNode,
+)
+from ..stats.estimator import RelProfile
+
+
+def observed_profiles(
+    plan: PlanNode, observed: Mapping[int, ObservedStatistics]
+) -> dict[int, RelProfile]:
+    """Profile overrides for every collector with observed statistics."""
+    overrides: dict[int, RelProfile] = {}
+    for node in plan.walk():
+        if isinstance(node, StatsCollectorNode) and node.node_id in observed:
+            overrides[node.node_id] = observed[node.node_id].merge_into_profile(
+                node.est.profile
+            )
+    return overrides
+
+
+def apply_improved_estimates(
+    plan: PlanNode,
+    optimizer: Optimizer,
+    ctx: RuntimeContext,
+) -> dict[int, RelProfile]:
+    """Re-annotate ``plan`` in place with observed statistics and live grants.
+
+    Returns the profile overrides that were applied (keyed by collector
+    node id) so callers can reuse them when optimizing a remainder query.
+    """
+    overrides = observed_profiles(plan, ctx.observed)
+    annotator = optimizer.annotator(
+        allocation=ctx.allocation, profile_overrides=overrides
+    )
+    annotator.annotate(plan)
+    return overrides
+
+
+def parent_of(plan: PlanNode, node_id: int) -> PlanNode | None:
+    """Direct parent of a node within a plan."""
+    for node in plan.walk():
+        for child in node.children:
+            if child.node_id == node_id:
+                return node
+    return None
+
+
+def blocking_consumer(plan: PlanNode, collector_id: int) -> PlanNode | None:
+    """The blocking operator that just finished consuming this collector.
+
+    SCIA places collectors directly below blocking input edges, so this is
+    simply the collector's parent (validated to be blocking).
+    """
+    parent = parent_of(plan, collector_id)
+    if parent is not None and parent.is_blocking:
+        return parent
+    return None
+
+
+def hash_join_probe_remaining(
+    node: HashJoinNode, cost_model: CostModel, page_size: int, grant: int
+) -> float:
+    """Remaining (probe-phase) cost of a hash join whose build is complete."""
+    build = node.build.est
+    probe = node.probe.est
+    cost = cost_model.hash_join_probe(
+        build_pages=pages_for(build.rows, build.row_bytes, page_size),
+        probe_rows=probe.rows,
+        probe_pages=pages_for(probe.rows, probe.row_bytes, page_size),
+        output_rows=node.est.rows,
+        memory_pages=grant,
+    )
+    return cost.total_units(cost_model.params)
+
+
+def remaining_cost(
+    plan: PlanNode,
+    ctx: RuntimeContext,
+    cost_model: CostModel,
+    in_flight: PlanNode | None = None,
+) -> float:
+    """Improved estimate of the cost still needed to finish the current plan.
+
+    ``in_flight`` is the blocking consumer whose build input just completed;
+    it owes only its probe phase.  Completed nodes owe nothing.  Everything
+    else owes its (improved) per-operator cost.
+    """
+    page_size = ctx.catalog.page_size
+    remaining = 0.0
+    in_flight_id = in_flight.node_id if in_flight is not None else None
+    for node in plan.walk():
+        if node.node_id in ctx.completed:
+            continue
+        if node.node_id == in_flight_id and isinstance(node, HashJoinNode):
+            grant = ctx.memory_for(node)
+            build = node.build.est
+            probe = node.probe.est
+            cost = cost_model.hash_join_probe(
+                build_pages=pages_for(build.rows, build.row_bytes, page_size),
+                probe_rows=probe.rows,
+                probe_pages=pages_for(probe.rows, probe.row_bytes, page_size),
+                output_rows=node.est.rows,
+                memory_pages=grant,
+            )
+            remaining += cost.total_units(cost_model.params)
+            continue
+        remaining += node.est.op_cost
+    return remaining

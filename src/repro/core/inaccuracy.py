@@ -1,0 +1,281 @@
+"""Inaccuracy-potential analysis (paper section 2.5).
+
+The statistics-collectors insertion algorithm assigns each candidate
+statistic an *inaccuracy potential* — low, medium or high — estimating how
+likely the corresponding optimizer estimate is to be wrong.  Base-table
+levels come from the catalog (what kind of histogram exists, whether there
+has been update activity); levels then propagate up the plan by the paper's
+rule set:
+
+* serial-class histogram (MaxDiff / end-biased) -> LOW; equi-width or
+  equi-depth -> MEDIUM; no histogram -> HIGH;
+* distinct counts: LOW for base-table attributes with catalog estimates,
+  HIGH at every intermediate point;
+* significant update activity bumps every level by one;
+* selections with a simple predicate preserve their input's level; ones
+  involving two or more attributes of the relation bump it one level
+  (uncaptured correlation); ones involving user-defined functions (or,
+  in our engine, host-variable parameters) are HIGH;
+* equi-joins on key attributes preserve the max of the input levels;
+  non-key equi-joins bump it one level; non-equi-joins are HIGH;
+* aggregate outputs carry the level of the grouping columns' distinct
+  estimate in their input.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..plans.logical import Comparison, Predicate, qualifier_of
+from ..plans.physical import (
+    BlockNLJoinNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexNLJoinNode,
+    IndexScanNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+    StatsCollectorNode,
+)
+from ..stats.histogram import HistogramKind
+from ..storage.catalog import Catalog
+
+
+class InaccuracyPotential(enum.IntEnum):
+    """How likely an optimizer estimate is to be wrong."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    def bumped(self) -> "InaccuracyPotential":
+        """One level higher (saturating at HIGH)."""
+        return InaccuracyPotential(min(self.value + 1, InaccuracyPotential.HIGH.value))
+
+
+def _histogram_level(kind: HistogramKind | None) -> InaccuracyPotential:
+    if kind is None:
+        return InaccuracyPotential.HIGH
+    if kind.is_serial_class:
+        return InaccuracyPotential.LOW
+    return InaccuracyPotential.MEDIUM
+
+
+class InaccuracyAnalysis:
+    """Per-node inaccuracy levels for one physical plan.
+
+    ``output_level(node)`` is the potential that the node's output-size
+    estimate is inaccurate; ``histogram_level(node, column)`` the potential
+    for the value distribution of one column at that node's output;
+    ``distinct_level(node, columns)`` the potential for a distinct-count
+    estimate there.
+    """
+
+    def __init__(self, plan: PlanNode, catalog: Catalog) -> None:
+        self.plan = plan
+        self.catalog = catalog
+        self._output: dict[int, InaccuracyPotential] = {}
+        self._columns: dict[int, dict[str, InaccuracyPotential]] = {}
+        self._analyze(plan)
+
+    # -- public API --------------------------------------------------------
+
+    def output_level(self, node: PlanNode) -> InaccuracyPotential:
+        """Inaccuracy potential of the node's cardinality/size estimate."""
+        return self._output[node.node_id]
+
+    def histogram_level(self, node: PlanNode, column: str) -> InaccuracyPotential:
+        """Inaccuracy potential of a histogram-backed estimate for ``column``."""
+        base = self._columns[node.node_id].get(column, InaccuracyPotential.HIGH)
+        return max(base, self._output[node.node_id])
+
+    def distinct_level(self, node: PlanNode, columns: tuple[str, ...]) -> InaccuracyPotential:
+        """Inaccuracy potential of a distinct-count estimate at this node.
+
+        Per the paper's rule, only base-table attributes with catalog
+        estimates are LOW; every intermediate point is HIGH.
+        """
+        if isinstance(node, (SeqScanNode, IndexScanNode)):
+            stats = self.catalog.stats_for(node.table_name)
+            if all(stats.column(c.rsplit(".", 1)[-1]) is not None for c in columns):
+                level = InaccuracyPotential.LOW
+                if stats.significant_update_activity:
+                    level = level.bumped()
+                return level
+        return InaccuracyPotential.HIGH
+
+    # -- analysis ----------------------------------------------------------
+
+    def _analyze(self, node: PlanNode) -> None:
+        for child in node.children:
+            self._analyze(child)
+        if isinstance(node, SeqScanNode):
+            self._scan_levels(node, node.table_name, node.alias)
+        elif isinstance(node, IndexScanNode):
+            self._scan_levels(node, node.table_name, node.alias)
+            bound_level = self._predicate_level(node, node.bound_predicates)
+            self._output[node.node_id] = max(self._output[node.node_id], bound_level)
+        elif isinstance(node, FilterNode):
+            self._passthrough(node, node.child)
+            level = self._predicate_level(node.child, node.predicates)
+            self._output[node.node_id] = max(
+                self._output[node.child.node_id], level
+            )
+        elif isinstance(node, StatsCollectorNode):
+            self._passthrough(node, node.child)
+        elif isinstance(node, (ProjectNode, SortNode, LimitNode)):
+            self._passthrough(node, node.children[0])
+        elif isinstance(node, HashJoinNode):
+            self._join_levels(node, node.build, node.probe, node.key_pairs, node.residual)
+        elif isinstance(node, IndexNLJoinNode):
+            inner_scan_level = self._base_column_levels(node.inner_table, node.inner_alias)
+            columns = dict(self._columns[node.outer.node_id])
+            columns.update(inner_scan_level)
+            self._columns[node.node_id] = columns
+            key_pairs = [
+                (node.outer_column, f"{node.inner_alias}.{node.inner_column}")
+            ]
+            self._output[node.node_id] = self._join_output_level(
+                node.outer, None, key_pairs, node.residual, node.inner_table
+            )
+        elif isinstance(node, BlockNLJoinNode):
+            columns = dict(self._columns[node.outer.node_id])
+            columns.update(self._columns[node.inner.node_id])
+            self._columns[node.node_id] = columns
+            # Non-equi (or cartesian) joins are always HIGH.
+            self._output[node.node_id] = InaccuracyPotential.HIGH
+        elif isinstance(node, HashAggregateNode):
+            level = self.distinct_level(
+                _through_collectors(node.child), node.group_by
+            )
+            self._columns[node.node_id] = {}
+            self._output[node.node_id] = max(
+                level, self._output[node.child.node_id]
+            )
+        else:
+            self._passthrough(node, node.children[0])
+
+    def _passthrough(self, node: PlanNode, child: PlanNode) -> None:
+        self._columns[node.node_id] = dict(self._columns[child.node_id])
+        self._output[node.node_id] = self._output[child.node_id]
+
+    def _base_column_levels(
+        self, table_name: str, alias: str
+    ) -> dict[str, InaccuracyPotential]:
+        stats = self.catalog.stats_for(table_name)
+        levels: dict[str, InaccuracyPotential] = {}
+        for column in self.catalog.table(table_name).schema:
+            base = column.base_name
+            cs = stats.column(base)
+            kind = cs.histogram.kind if cs is not None and cs.has_histogram else None
+            level = _histogram_level(kind)
+            if stats.significant_update_activity:
+                level = level.bumped()
+            levels[f"{alias}.{base}"] = level
+        return levels
+
+    def _scan_levels(self, node: PlanNode, table_name: str, alias: str) -> None:
+        self._columns[node.node_id] = self._base_column_levels(table_name, alias)
+        stats = self.catalog.stats_for(table_name)
+        level = InaccuracyPotential.LOW
+        if stats.significant_update_activity:
+            level = level.bumped()
+        self._output[node.node_id] = level
+
+    def _predicate_level(
+        self, input_node: PlanNode, predicates: tuple[Predicate, ...]
+    ) -> InaccuracyPotential:
+        """Level contributed by a conjunction of selection predicates."""
+        if not predicates:
+            return InaccuracyPotential.LOW
+        input_columns = self._columns[input_node.node_id]
+        worst = InaccuracyPotential.LOW
+        # Attributes referenced across the whole conjunction: two or more
+        # distinct attributes of the same relation imply possible correlation.
+        by_relation: dict[str, set[str]] = {}
+        for pred in predicates:
+            for column in pred.columns():
+                by_relation.setdefault(qualifier_of(column), set()).add(column)
+        correlated = any(len(cols) >= 2 for cols in by_relation.values())
+        for pred in predicates:
+            if pred.contains_function() or pred.is_parameter_based:
+                return InaccuracyPotential.HIGH
+            levels = [
+                input_columns.get(c, InaccuracyPotential.HIGH) for c in pred.columns()
+            ]
+            level = max(levels) if levels else InaccuracyPotential.MEDIUM
+            if correlated:
+                level = level.bumped()
+            worst = max(worst, level)
+        return worst
+
+    def _join_levels(
+        self,
+        node: HashJoinNode,
+        left: PlanNode,
+        right: PlanNode,
+        key_pairs: tuple[tuple[str, str], ...],
+        residual: tuple[Predicate, ...],
+    ) -> None:
+        columns = dict(self._columns[left.node_id])
+        columns.update(self._columns[right.node_id])
+        self._columns[node.node_id] = columns
+        self._output[node.node_id] = self._join_output_level(
+            left, right, list(key_pairs), residual, None
+        )
+
+    def _join_output_level(
+        self,
+        left: PlanNode,
+        right: PlanNode | None,
+        key_pairs: list[tuple[str, str]],
+        residual: tuple[Predicate, ...],
+        inner_table: str | None,
+    ) -> InaccuracyPotential:
+        level = self._output[left.node_id]
+        if right is not None:
+            level = max(level, self._output[right.node_id])
+        if not key_pairs:
+            return InaccuracyPotential.HIGH
+        if any(not isinstance(p, Comparison) or not p.is_equi_join for p in residual):
+            # Extra non-equi conjuncts at the join make the output HIGH.
+            if residual:
+                return InaccuracyPotential.HIGH
+        if not self._joins_on_key(key_pairs, inner_table):
+            level = level.bumped()
+        return level
+
+    def _joins_on_key(
+        self, key_pairs: list[tuple[str, str]], inner_table: str | None
+    ) -> bool:
+        """Whether any join attribute is a declared key of its base table."""
+        for left_col, right_col in key_pairs:
+            for column in (left_col, right_col):
+                alias = qualifier_of(column)
+                base = column.rsplit(".", 1)[-1]
+                table_name = self._table_for_alias(alias, inner_table)
+                if table_name is not None and self.catalog.is_key_column(table_name, base):
+                    return True
+        return False
+
+    def _table_for_alias(self, alias: str, inner_table: str | None) -> str | None:
+        for node in self.plan.walk():
+            if isinstance(node, (SeqScanNode, IndexScanNode)) and node.alias == alias:
+                return node.table_name
+            if isinstance(node, IndexNLJoinNode) and node.inner_alias == alias:
+                return node.inner_table
+        if inner_table is not None:
+            return inner_table
+        # The alias may name a table not yet in this (partial) plan.
+        return alias if alias in self.catalog else None
+
+
+def _through_collectors(node: PlanNode) -> PlanNode:
+    """Skip collector wrappers to reach the meaningful input node."""
+    while isinstance(node, StatsCollectorNode):
+        node = node.child
+    return node

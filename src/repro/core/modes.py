@@ -1,0 +1,40 @@
+"""Run modes for Dynamic Re-Optimization.
+
+The paper's isolation experiment (Figure 11) runs the algorithm "in two
+different modes": one using improved statistics solely for memory
+management, one using only plan modification.  Together with OFF (the
+"Normal" bars of Figure 10) and FULL, these form the mode enum every
+experiment sweeps over.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DynamicMode(enum.Enum):
+    """Which dynamic re-optimization facilities are active."""
+
+    #: Conventional execution: no collectors, no re-optimization ("Normal").
+    OFF = "off"
+    #: Collect statistics; only re-allocate memory (Figure 11, mode 1).
+    MEMORY_ONLY = "memory-only"
+    #: Collect statistics; only modify the plan (Figure 11, mode 2).
+    PLAN_ONLY = "plan-only"
+    #: The complete algorithm ("Re-Optimized").
+    FULL = "full"
+
+    @property
+    def collects_statistics(self) -> bool:
+        """Whether statistics collectors are inserted into plans."""
+        return self is not DynamicMode.OFF
+
+    @property
+    def allows_memory_reallocation(self) -> bool:
+        """Whether improved estimates may re-allocate memory."""
+        return self in (DynamicMode.MEMORY_ONLY, DynamicMode.FULL)
+
+    @property
+    def allows_plan_modification(self) -> bool:
+        """Whether improved estimates may trigger plan switches."""
+        return self in (DynamicMode.PLAN_ONLY, DynamicMode.FULL)

@@ -1,0 +1,178 @@
+"""Parametric plans and the hybrid with Dynamic Re-Optimization.
+
+The paper's section 4 sketches its own future work: "the query optimizer
+can try to anticipate the most common cases that might arise at run-time
+and produce a parameterized plan that covers these possibilities.  At query
+execution time, statistics can be observed/collected to determine which
+plan to choose for query execution.  If a situation arises at run-time that
+is not covered by the common cases anticipated by the query optimizer,
+dynamic re-optimization can be used."
+
+This module implements that hybrid:
+
+* :class:`ParametricOptimizer` produces one plan per *scenario* — an
+  assumed selectivity for the query's host-variable predicates (in the
+  spirit of Graefe & Ward / Graefe & Cole dynamic plans and Ioannidis
+  et al. parametric optimization, the paper's [8], [7] and [10]).
+  Structurally identical plans are deduplicated, so the common case of a
+  selectivity-insensitive plan costs nothing extra at run time.
+* :func:`choose_plan` picks the scenario at execution start, once the
+  parameter values are known, by estimating the parameterised predicates
+  *with* their values.
+* The engine then executes the chosen plan with Dynamic Re-Optimization
+  still armed — covering the situations (correlations, skew, stale
+  catalogs) that no anticipated scenario captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import EngineConfig
+from ..errors import OptimizerError
+from ..plans.logical import LogicalQuery
+from ..plans.physical import PlanNode
+from ..stats.estimator import Estimator, profile_from_table_stats
+from ..storage.catalog import Catalog
+from ..optimizer.optimizer import Optimizer
+
+#: Default selectivity scenarios: highly selective, the System-R magic
+#: default, and non-selective — the "most common cases" of section 4.
+DEFAULT_SCENARIOS: tuple[float, ...] = (0.02, 1.0 / 3.0, 0.9)
+
+
+@dataclass
+class Scenario:
+    """One anticipated run-time case."""
+
+    assumed_selectivity: float
+    plan: PlanNode
+    estimated_cost: float
+
+    def describe(self) -> str:
+        """Short label for profiles and reports."""
+        return f"sel~{self.assumed_selectivity:.2f} (cost {self.estimated_cost:.1f})"
+
+
+@dataclass
+class ParametricPlan:
+    """A set of scenario plans for one parameterised query."""
+
+    query: LogicalQuery
+    scenarios: list[Scenario] = field(default_factory=list)
+
+    @property
+    def plan_count(self) -> int:
+        """Number of structurally distinct plans kept."""
+        return len(self.scenarios)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when every scenario collapsed to one plan."""
+        return self.plan_count <= 1
+
+
+def plan_signature(plan: PlanNode) -> tuple:
+    """A structural fingerprint used to deduplicate scenario plans."""
+    parts = []
+    for node in plan.walk():
+        parts.append((node.label, node.detail(), len(node.children)))
+    return tuple(parts)
+
+
+def has_parameter_predicates(query: LogicalQuery) -> bool:
+    """Whether any predicate compares against a host variable."""
+    return any(p.is_parameter_based for p in query.predicates)
+
+
+class ParametricOptimizer:
+    """Optimizes one query under several assumed parameter selectivities."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: EngineConfig,
+        scenarios: tuple[float, ...] = DEFAULT_SCENARIOS,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config
+        self.scenario_selectivities = scenarios
+
+    def optimize(self, query: LogicalQuery) -> ParametricPlan:
+        """Produce the deduplicated scenario plans for ``query``."""
+        if not has_parameter_predicates(query):
+            raise OptimizerError(
+                "parametric optimization requires host-variable predicates"
+            )
+        result = ParametricPlan(query=query)
+        seen: dict[tuple, Scenario] = {}
+        for selectivity in self.scenario_selectivities:
+            estimator = Estimator(parameter_selectivity=selectivity)
+            optimizer = Optimizer(self.catalog, self.config, estimator=estimator)
+            plan = optimizer.optimize(query)
+            signature = plan_signature(plan)
+            if signature in seen:
+                continue
+            scenario = Scenario(
+                assumed_selectivity=selectivity,
+                plan=plan,
+                estimated_cost=plan.est.total_cost,
+            )
+            seen[signature] = scenario
+            result.scenarios.append(scenario)
+        return result
+
+
+def actual_parameter_selectivity(
+    query: LogicalQuery, catalog: Catalog
+) -> float:
+    """Estimated joint selectivity of the parameterised predicates, using
+    their (now known) values against base-table statistics."""
+    estimator = Estimator(use_parameter_values=True)
+    selectivities: list[float] = []
+    for relation in query.relations:
+        predicates = [
+            p
+            for p in query.selection_predicates(relation.alias)
+            if p.is_parameter_based
+        ]
+        if not predicates:
+            continue
+        profile = profile_from_table_stats(
+            catalog.stats_for(relation.table_name), relation.alias
+        )
+        for pred in predicates:
+            selectivities.append(estimator.selectivity(pred, profile))
+    if not selectivities:
+        return 1.0
+    joint = 1.0
+    for sel in selectivities:
+        joint *= sel
+    # Geometric mean keeps the value comparable to per-predicate scenarios.
+    return joint ** (1.0 / len(selectivities))
+
+
+def choose_plan(
+    parametric: ParametricPlan, catalog: Catalog
+) -> tuple[Scenario, float]:
+    """Pick the scenario closest to the observed parameter selectivity.
+
+    This is the run-time decision step: the parameter values are known at
+    execution start, so the anticipated case nearest to the estimated
+    selectivity wins (log-distance, since selectivities span decades).
+    """
+    import math
+
+    if not parametric.scenarios:
+        raise OptimizerError("parametric plan has no scenarios")
+    actual = actual_parameter_selectivity(parametric.query, catalog)
+    floor = 1e-6
+
+    def distance(scenario: Scenario) -> float:
+        return abs(
+            math.log(max(scenario.assumed_selectivity, floor))
+            - math.log(max(actual, floor))
+        )
+
+    best = min(parametric.scenarios, key=distance)
+    return best, actual

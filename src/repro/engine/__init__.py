@@ -1,0 +1,7 @@
+"""Engine facade: the public Database API."""
+
+from .database import Database
+from .profile import ExecutionProfile
+from .results import QueryResult
+
+__all__ = ["Database", "ExecutionProfile", "QueryResult"]

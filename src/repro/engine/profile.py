@@ -1,0 +1,64 @@
+"""Execution profiles: what one query execution cost and what happened.
+
+The profile is the experiment currency of this reproduction: benchmarks run
+a query under different :class:`~repro.core.modes.DynamicMode` settings and
+compare ``total_cost`` (simulated time) plus the event log (re-allocations,
+plan switches, collector overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.reoptimizer import ReoptimizationEvent
+from ..storage.buffer import BufferStats
+from ..storage.disk import CostBreakdown
+
+
+@dataclass
+class ExecutionProfile:
+    """Cost accounting and event history for one executed query."""
+
+    sql: str
+    mode: str
+    total_cost: float
+    breakdown: CostBreakdown
+    buffer: BufferStats
+    row_count: int
+    optimizer_invocations: int
+    plan_switches: int
+    memory_reallocations: int
+    initial_estimated_cost: float
+    collectors_inserted: int
+    statistics_kept: int
+    statistics_dropped: int
+    statistics_budget: float
+    #: Parametric-plan bookkeeping (section 4 hybrid): how many scenario
+    #: plans existed and which was chosen (empty when not used).
+    parametric_plan_count: int = 0
+    parametric_choice: str = ""
+    events: list[ReoptimizationEvent] = field(default_factory=list)
+    plan_explanations: list[str] = field(default_factory=list)
+    remainder_sqls: list[str] = field(default_factory=list)
+
+    @property
+    def stats_overhead_fraction(self) -> float:
+        """Observed statistics-collection overhead as a fraction of total."""
+        if self.total_cost <= 0:
+            return 0.0
+        return self.breakdown.stats_cpu / self.total_cost
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"mode={self.mode} total={self.total_cost:.1f} "
+            f"(io={self.breakdown.io:.1f}, cpu={self.breakdown.cpu:.1f}, "
+            f"stats={self.breakdown.stats_cpu:.1f}, opt={self.breakdown.optimizer:.1f})",
+            f"rows={self.row_count} switches={self.plan_switches} "
+            f"reallocations={self.memory_reallocations} "
+            f"collectors={self.collectors_inserted} "
+            f"stats kept/dropped={self.statistics_kept}/{self.statistics_dropped}",
+        ]
+        for event in self.events:
+            lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Query results returned by :meth:`repro.engine.Database.execute`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..storage.schema import Schema
+from ..storage.table import Row
+from .profile import ExecutionProfile
+
+
+@dataclass
+class QueryResult:
+    """Rows plus schema plus the execution profile."""
+
+    rows: list[Row]
+    schema: Schema
+    profile: ExecutionProfile
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Output column names, in order."""
+        return self.schema.names
+
+    def column(self, name: str) -> list:
+        """All values of one output column."""
+        position = self.schema.index_of(name)
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by column name."""
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def format_table(self, limit: int = 20) -> str:
+        """Render the first ``limit`` rows as an aligned text table."""
+        names = [n.rsplit(".", 1)[-1] for n in self.column_names]
+        shown: Sequence[Row] = self.rows[:limit]
+        rendered = [[_fmt(v) for v in row] for row in shown]
+        widths = [
+            max(len(names[i]), *(len(r[i]) for r in rendered)) if rendered else len(names[i])
+            for i in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rendered]
+        suffix = [] if len(self.rows) <= limit else [f"... ({len(self.rows)} rows total)"]
+        return "\n".join([header, rule, *body, *suffix])
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single type at the API boundary.  The sub-classes mirror the major
+subsystems (SQL front end, catalog, optimizer, executor), which keeps error
+handling in tests and applications precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot derive a statement from the token stream."""
+
+
+class BindError(SqlError):
+    """Raised when name resolution against the catalog fails."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog inconsistencies (unknown/duplicate tables, columns)."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage substrate (tables, indexes, temp space)."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """Raised when query execution fails."""
+
+
+class MemoryGrantError(ExecutionError):
+    """Raised when the memory manager cannot satisfy minimum operator demands."""
+
+
+class StatisticsError(ReproError):
+    """Raised by the statistics substrate (histograms, sketches, estimators)."""
+
+
+class ConfigError(ReproError):
+    """Raised when engine or algorithm parameters are out of range."""

@@ -1,0 +1,34 @@
+"""Execution engine: iterators, memory manager, segments, dispatcher."""
+
+from .collector import ObservedStatistics, RuntimeCollector
+from .dispatcher import DispatchResult, Dispatcher, SwitchEvent
+from .iterators import execute_node
+from .memory import MemoryDemand, MemoryManager, execution_order, memory_demands
+from .runtime import (
+    ExecutionController,
+    PlanSwitchDirective,
+    PlanSwitched,
+    RuntimeContext,
+)
+from .segments import Segment, blocking_input_edges, segment_of, segments
+
+__all__ = [
+    "DispatchResult",
+    "Dispatcher",
+    "ExecutionController",
+    "MemoryDemand",
+    "MemoryManager",
+    "ObservedStatistics",
+    "PlanSwitchDirective",
+    "PlanSwitched",
+    "RuntimeCollector",
+    "RuntimeContext",
+    "Segment",
+    "SwitchEvent",
+    "blocking_input_edges",
+    "execute_node",
+    "execution_order",
+    "memory_demands",
+    "segment_of",
+    "segments",
+]

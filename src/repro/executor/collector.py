@@ -1,0 +1,229 @@
+"""The statistics-collector operator's run-time machinery.
+
+A collector examines every tuple streaming past without modifying, copying
+or discarding it (paper section 2.2 / 3.1):
+
+* cardinality and average tuple size — a running count (always on),
+* min/max per numeric column — a running comparison (always on),
+* histograms — a one-page reservoir sample per chosen attribute (Vitter
+  [24]), turned into a histogram when the input is exhausted ([19]),
+* distinct counts — a Flajolet–Martin sketch per chosen attribute set [6]
+  (hybridised with exact counting below a threshold, where PCSA is biased).
+
+No I/O is performed.  The CPU overhead is charged to the clock's dedicated
+``stats_cpu`` category so the overhead experiments (E5/E7) can report it.
+
+The result is an :class:`ObservedStatistics`, which converts into a
+:class:`~repro.stats.estimator.RelProfile` — *observed*, not estimated —
+that the improved-estimate machinery substitutes into the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..config import EngineConfig
+from ..plans.physical import CollectorSpec, StatsCollectorNode
+from ..stats.distinct import HybridDistinct
+from ..stats.histogram import Histogram, HistogramKind, from_sample
+from ..stats.sampling import Reservoir
+from ..stats.table_stats import ColumnStats
+from ..stats.estimator import RelProfile
+from ..storage.schema import Schema
+from ..storage.table import Row
+
+
+@dataclass
+class ObservedStatistics:
+    """Run-time statistics gathered by one collector."""
+
+    node_id: int
+    row_count: int
+    row_bytes: float
+    minmax: Mapping[str, tuple[float, float]] = field(default_factory=dict)
+    histograms: Mapping[str, Histogram] = field(default_factory=dict)
+    distincts: Mapping[tuple[str, ...], float] = field(default_factory=dict)
+
+    def merge_into_profile(self, estimated: RelProfile | None) -> RelProfile:
+        """Build an observed profile, reusing estimated stats where unobserved.
+
+        Observed cardinality always wins; estimated per-column statistics are
+        rescaled to the observed row count, then observed histograms, min/max
+        and distinct counts override them.
+        """
+        rows = float(max(self.row_count, 1))
+        columns: dict[str, ColumnStats] = {}
+        if estimated is not None:
+            scale = rows / max(estimated.rows, 1.0)
+            for name, stats in estimated.columns.items():
+                if not stats.has_histogram:
+                    histogram = stats.histogram
+                elif scale <= 1.0:
+                    # Fewer rows than estimated: rows were removed.
+                    histogram = stats.histogram.scaled(scale)
+                else:
+                    # More rows than estimated: same shape, higher frequency
+                    # per value (distincts kept) — crucial so that the
+                    # observed cardinality surge propagates into downstream
+                    # join-size estimates even without an observed histogram.
+                    histogram = stats.histogram.scaled_counts(scale)
+                columns[name] = ColumnStats(
+                    name=name,
+                    dtype=stats.dtype,
+                    count=rows,
+                    distinct=max(1.0, min(stats.distinct, rows)),
+                    min_value=stats.min_value,
+                    max_value=stats.max_value,
+                    histogram=histogram,
+                    is_key=stats.is_key,
+                )
+        for name, (lo, hi) in self.minmax.items():
+            base = columns.get(name)
+            if base is not None:
+                columns[name] = ColumnStats(
+                    name=name,
+                    dtype=base.dtype,
+                    count=rows,
+                    distinct=base.distinct,
+                    min_value=lo,
+                    max_value=hi,
+                    histogram=base.histogram,
+                    is_key=base.is_key,
+                    observed=True,
+                )
+            else:
+                from ..storage.schema import DataType
+
+                columns[name] = ColumnStats(
+                    name=name,
+                    dtype=DataType.FLOAT,
+                    count=rows,
+                    distinct=0.0,  # unknown: estimator falls back to defaults
+                    min_value=lo,
+                    max_value=hi,
+                    observed=True,
+                )
+        for name, histogram in self.histograms.items():
+            base = columns.get(name)
+            lo, hi = self.minmax.get(name, (histogram.min_value, histogram.max_value))
+            columns[name] = ColumnStats(
+                name=name,
+                dtype=base.dtype if base is not None else _guess_dtype(histogram),
+                count=rows,
+                distinct=max(1.0, histogram.total_distinct),
+                min_value=lo,
+                max_value=hi,
+                histogram=histogram,
+                is_key=base.is_key if base is not None else False,
+                observed=True,
+            )
+        for columns_key, estimate in self.distincts.items():
+            if len(columns_key) != 1:
+                continue
+            name = columns_key[0]
+            base = columns.get(name)
+            if base is not None:
+                columns[name] = ColumnStats(
+                    name=name,
+                    dtype=base.dtype,
+                    count=rows,
+                    distinct=max(1.0, min(estimate, rows)),
+                    min_value=base.min_value,
+                    max_value=base.max_value,
+                    histogram=base.histogram,
+                    is_key=base.is_key,
+                    observed=True,
+                )
+        aliases = estimated.aliases if estimated is not None else frozenset()
+        return RelProfile(
+            rows=rows, row_bytes=self.row_bytes, columns=columns, aliases=aliases
+        )
+
+
+def _guess_dtype(histogram: Histogram):
+    from ..storage.schema import DataType
+
+    return DataType.FLOAT if histogram.buckets else DataType.INTEGER
+
+
+class RuntimeCollector:
+    """Per-execution state of one statistics collector."""
+
+    def __init__(
+        self,
+        node: StatsCollectorNode,
+        schema: Schema,
+        config: EngineConfig,
+    ) -> None:
+        self.node = node
+        self.schema = schema
+        self.config = config
+        self.row_count = 0
+        spec: CollectorSpec = node.spec
+        self._numeric_positions: list[tuple[str, int]] = [
+            (col.name, i)
+            for i, col in enumerate(schema.columns)
+            if col.dtype.is_numeric
+        ]
+        self._minmax: dict[str, list[float]] = {}
+        self._reservoirs: dict[str, tuple[int, Reservoir]] = {
+            col: (schema.index_of(col), Reservoir(config.reservoir_sample_size, seed=config.seed))
+            for col in spec.histogram_columns
+        }
+        self._sketches: dict[tuple[str, ...], tuple[tuple[int, ...], HybridDistinct]] = {}
+        for cols in spec.distinct_column_sets:
+            positions = tuple(schema.index_of(c) for c in cols)
+            self._sketches[cols] = (positions, HybridDistinct(seed=config.seed))
+
+    def observe(self, row: Row) -> None:
+        """Examine one tuple (the hot path of the collector operator)."""
+        self.row_count += 1
+        for name, position in self._numeric_positions:
+            value = row[position]
+            entry = self._minmax.get(name)
+            if entry is None:
+                self._minmax[name] = [value, value]
+            else:
+                if value < entry[0]:
+                    entry[0] = value
+                elif value > entry[1]:
+                    entry[1] = value
+        for position, reservoir in self._reservoirs.values():
+            reservoir.add(row[position])
+        for positions, sketch in self._sketches.values():
+            if len(positions) == 1:
+                sketch.add(row[positions[0]])
+            else:
+                sketch.add(tuple(row[p] for p in positions))
+
+    def finalize(self) -> ObservedStatistics:
+        """Turn the accumulated state into observed statistics."""
+        histograms: dict[str, Histogram] = {}
+        for column, (__, reservoir) in self._reservoirs.items():
+            if reservoir.seen == 0:
+                continue
+            histograms[column] = from_sample(
+                [float(v) for v in reservoir.sample],
+                population_count=reservoir.seen,
+                kind=HistogramKind.MAXDIFF,
+                num_buckets=self.config.runtime_histogram_buckets,
+            )
+        distincts = {
+            cols: max(1.0, min(sketch.estimate(), float(self.row_count)))
+            for cols, (__, sketch) in self._sketches.items()
+            if self.row_count > 0
+        }
+        minmax = {
+            name: (float(entry[0]), float(entry[1]))
+            for name, entry in self._minmax.items()
+            if isinstance(entry[0], (int, float))
+        }
+        return ObservedStatistics(
+            node_id=self.node.node_id,
+            row_count=self.row_count,
+            row_bytes=float(self.schema.row_bytes),
+            minmax=minmax,
+            histograms=histograms,
+            distincts=distincts,
+        )

@@ -1,0 +1,78 @@
+"""The query dispatcher.
+
+Drives a physical plan to completion, restarting with the new plan whenever
+a :class:`~repro.executor.runtime.PlanSwitched` signal unwinds out of a cut
+operator.  The dispatcher itself is policy-free: all re-optimization
+decisions live in the controller (:mod:`repro.core.reoptimizer`); this loop
+merely honours the directives, mirroring the paper's split between the
+scheduler/dispatcher and the Dynamic Re-Optimization algorithm hooked into
+it (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..plans.physical import PlanNode
+from ..storage.table import Row
+from .iterators import execute_node
+from .runtime import PlanSwitchDirective, PlanSwitched, RuntimeContext
+
+
+@dataclass
+class SwitchEvent:
+    """Record of one executed plan switch."""
+
+    directive: PlanSwitchDirective
+    materialized_rows: int
+
+
+@dataclass
+class DispatchResult:
+    """Everything the dispatcher learned while running a query."""
+
+    rows: list[Row]
+    final_plan: PlanNode
+    plan_history: list[PlanNode] = field(default_factory=list)
+    switch_events: list[SwitchEvent] = field(default_factory=list)
+
+
+class Dispatcher:
+    """Runs plans, following plan switches across restarts."""
+
+    def __init__(self, ctx: RuntimeContext) -> None:
+        self.ctx = ctx
+
+    def run(self, plan: PlanNode) -> DispatchResult:
+        """Execute ``plan`` (and any successor plans) to completion."""
+        history = [plan]
+        events: list[SwitchEvent] = []
+        current = plan
+        while True:
+            self._notify_plan(current)
+            try:
+                rows = list(execute_node(current, self.ctx))
+                return DispatchResult(
+                    rows=rows,
+                    final_plan=current,
+                    plan_history=history,
+                    switch_events=events,
+                )
+            except PlanSwitched as switched:
+                directive = switched.directive
+                events.append(
+                    SwitchEvent(
+                        directive=directive,
+                        materialized_rows=switched.materialized_rows,
+                    )
+                )
+                self.ctx.pending_switch = None
+                self.ctx.allocation.clear()
+                self.ctx.allocation.update(directive.new_allocation)
+                current = directive.new_plan
+                history.append(current)
+
+    def _notify_plan(self, plan: PlanNode) -> None:
+        controller = self.ctx.controller
+        if controller is not None and hasattr(controller, "set_current_plan"):
+            controller.set_current_plan(plan)

@@ -1,0 +1,149 @@
+"""Execution runtime state.
+
+A :class:`RuntimeContext` carries everything operators need while running:
+the catalog and buffer pool, the cost clock, the (mutable!) memory
+allocation map, per-node progress bookkeeping, and the hook through which
+the Dynamic Re-Optimization controller intervenes.
+
+Plan modification is coordinated through :class:`PlanSwitchDirective` /
+:class:`PlanSwitched`: when the controller decides to re-optimize, it
+registers a directive for the *cut node* (the blocking operator whose build
+input just finished).  That operator then runs to completion, redirects its
+output into the directive's temporary table, and raises
+:class:`PlanSwitched`, unwinding to the dispatcher which resumes with the
+new plan — the paper's Figure 6 mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from ..config import EngineConfig
+from ..errors import ExecutionError
+from ..optimizer.cost_model import CostModel, OperatorCost
+from ..plans.physical import PlanNode, StatsCollectorNode
+from ..storage.buffer import BufferPool
+from ..storage.catalog import Catalog
+from ..storage.disk import CostClock
+from ..storage.table import Table
+from ..storage.temp import TempTableManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .collector import ObservedStatistics
+
+
+@dataclass
+class PlanSwitchDirective:
+    """Instructions for switching plans at a cut node.
+
+    Prepared by the re-optimization controller *before* materialisation: the
+    temp table is registered (empty, with estimated statistics) and the new
+    plan for the remainder is already optimized.
+    """
+
+    cut_node_id: int
+    temp_table: Table
+    new_plan: PlanNode
+    new_allocation: dict[int, int]
+    remainder_sql: str
+    reason: str = ""
+
+
+class PlanSwitched(Exception):  # noqa: N818 - control-flow signal, not an error
+    """Raised by a cut operator after materialising its output."""
+
+    def __init__(self, directive: PlanSwitchDirective, materialized_rows: int) -> None:
+        super().__init__(f"plan switched at node {directive.cut_node_id}")
+        self.directive = directive
+        self.materialized_rows = materialized_rows
+
+
+class ExecutionController(Protocol):
+    """Hook invoked when a statistics collector finishes (paper section 3.1)."""
+
+    def on_collector_complete(
+        self, node: StatsCollectorNode, observed: "ObservedStatistics"
+    ) -> None:
+        """React to fresh run-time statistics (re-allocate and/or re-plan)."""
+
+
+@dataclass
+class RuntimeContext:
+    """Mutable state shared by all operators of one query execution."""
+
+    catalog: Catalog
+    config: EngineConfig
+    clock: CostClock
+    buffer_pool: BufferPool
+    temp_manager: TempTableManager
+    cost_model: CostModel
+    allocation: dict[int, int] = field(default_factory=dict)
+    controller: ExecutionController | None = None
+    started: set[int] = field(default_factory=set)
+    #: Memory-consuming operators that received their first input row: their
+    #: grant is committed and dynamic re-allocation must not change it
+    #: (paper section 2.3: "once an operator starts executing, its memory
+    #: allocation cannot be changed").
+    memory_committed: set[int] = field(default_factory=set)
+    completed: set[int] = field(default_factory=set)
+    actual_rows: dict[int, int] = field(default_factory=dict)
+    observed: dict[int, "ObservedStatistics"] = field(default_factory=dict)
+    pending_switch: PlanSwitchDirective | None = None
+    #: Count of plan switches performed so far (for profiles/tests).
+    switches: int = 0
+    #: Count of memory re-allocations performed so far.
+    reallocations: int = 0
+
+    def memory_for(self, node: PlanNode) -> int:
+        """Granted memory pages for a node (max demand when ungoverned)."""
+        granted = self.allocation.get(node.node_id)
+        if granted is not None:
+            return granted
+        return max(node.est.max_memory_pages, 1)
+
+    def charge(self, cost: OperatorCost) -> None:
+        """Charge an operator cost to the clock, category by category."""
+        if cost.seq_read_pages:
+            self.clock.charge_seq_read(cost.seq_read_pages)
+        if cost.rand_read_pages:
+            self.clock.charge_rand_read(cost.rand_read_pages)
+        if cost.write_pages:
+            self.clock.charge_write(cost.write_pages)
+        if cost.cpu_units:
+            self.clock.charge_cpu(cost.cpu_units)
+        if cost.stats_cpu_units:
+            self.clock.charge_stats_cpu(cost.stats_cpu_units)
+
+    def mark_started(self, node: PlanNode) -> None:
+        """Record that a node's iterator was first pulled."""
+        self.started.add(node.node_id)
+
+    def commit_memory(self, node: PlanNode) -> int:
+        """Pin a memory-consuming operator's grant at first-input time.
+
+        Returns the granted pages.  Until this point, dynamic re-allocation
+        may still change the operator's grant (the operator holds no data
+        yet); afterwards the grant is fixed.
+        """
+        self.memory_committed.add(node.node_id)
+        return self.memory_for(node)
+
+    def mark_completed(self, node: PlanNode, rows: int) -> None:
+        """Record that a node drained, with its actual output cardinality."""
+        self.completed.add(node.node_id)
+        self.actual_rows[node.node_id] = rows
+
+    def take_switch_for(self, node_id: int) -> PlanSwitchDirective | None:
+        """Claim a pending plan switch if it targets this node."""
+        directive = self.pending_switch
+        if directive is not None and directive.cut_node_id == node_id:
+            self.pending_switch = None
+            return directive
+        return None
+
+    def request_switch(self, directive: PlanSwitchDirective) -> None:
+        """Register a plan switch to be executed by the cut node."""
+        if self.pending_switch is not None:
+            raise ExecutionError("a plan switch is already pending")
+        self.pending_switch = directive

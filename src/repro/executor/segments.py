@@ -1,0 +1,93 @@
+"""Pipeline segmentation.
+
+Paradise's scheduler partitions a plan into *segments* — maximal sets of
+operators that execute in a pipelined fashion — and dispatches them one
+after another (paper section 3.1).  A segment boundary is a *blocking input
+edge*: the build side of a hash join, the inner of a block NL join, and the
+inputs of sort and hash aggregation.
+
+Segmentation matters to Dynamic Re-Optimization because statistics gathered
+inside a pipeline only become available when the whole pipeline drains
+(paper section 2.2's pipelining limitation).  The SCIA therefore places
+collectors immediately below blocking input edges, and the re-optimization
+points are exactly the segment completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..plans.physical import (
+    BlockNLJoinNode,
+    DistinctNode,
+    HashAggregateNode,
+    HashJoinNode,
+    PlanNode,
+    SortNode,
+)
+
+
+def blocking_input_edges(plan: PlanNode) -> list[tuple[PlanNode, int]]:
+    """All ``(parent, child_index)`` edges whose child is consumed fully first."""
+    edges: list[tuple[PlanNode, int]] = []
+    for node in plan.walk():
+        if isinstance(node, HashJoinNode):
+            edges.append((node, 0))  # build side
+        elif isinstance(node, BlockNLJoinNode):
+            edges.append((node, 1))  # inner side
+        elif isinstance(node, (HashAggregateNode, SortNode, DistinctNode)):
+            edges.append((node, 0))
+    return edges
+
+
+@dataclass
+class Segment:
+    """One pipeline: nodes that run concurrently, bottom node last."""
+
+    nodes: list[PlanNode] = field(default_factory=list)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Ids of the member nodes."""
+        return [n.node_id for n in self.nodes]
+
+    @property
+    def top(self) -> PlanNode:
+        """The consumer end of the pipeline."""
+        return self.nodes[0]
+
+
+def segments(plan: PlanNode) -> list[Segment]:
+    """Partition a plan into pipeline segments, in completion order.
+
+    Segments are returned so that a segment appears after every segment it
+    depends on (its blocking inputs) — the order Paradise's dispatcher would
+    run them in.
+    """
+    blocking = {
+        (parent.node_id, index) for parent, index in blocking_input_edges(plan)
+    }
+    ordered: list[Segment] = []
+
+    def build(node: PlanNode, segment: Segment) -> None:
+        segment.nodes.append(node)
+        for index, child in enumerate(node.children):
+            if (node.node_id, index) in blocking:
+                child_segment = Segment()
+                build(child, child_segment)
+                ordered.append(child_segment)
+            else:
+                build(child, segment)
+
+    root_segment = Segment()
+    build(plan, root_segment)
+    ordered.append(root_segment)
+    return ordered
+
+
+def segment_of(plan: PlanNode, node_id: int) -> Segment | None:
+    """The segment containing ``node_id`` (None when the node is absent)."""
+    for segment in segments(plan):
+        if node_id in segment.node_ids:
+            return segment
+    return None

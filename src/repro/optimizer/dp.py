@@ -1,0 +1,209 @@
+"""System-R style dynamic-programming join enumeration.
+
+Left-deep join trees over the query's relations, with hash join (either
+input as the build side), indexed nested-loops join (when the inner relation
+has an index on its join column), and block nested-loops (for non-equi or
+cartesian steps) as the physical alternatives.  Cartesian products are
+deferred until no connected extension exists — the classic System-R rule.
+
+Paradise's optimizer was "built using the OPT++ architecture and uses a
+conventional dynamic programming algorithm based on the System-R optimizer";
+this module is our equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OptimizerError
+from ..plans.logical import Comparison, LogicalQuery, Predicate, qualifier_of
+from ..plans.physical import (
+    BlockNLJoinNode,
+    FilterNode,
+    HashJoinNode,
+    IndexNLJoinNode,
+    PlanNode,
+)
+from ..storage.catalog import Catalog
+from .access_paths import best_access_path
+from .annotate import PlanAnnotator
+
+
+class JoinEnumerator:
+    """Enumerates join orders for one bound query."""
+
+    def __init__(
+        self,
+        query: LogicalQuery,
+        catalog: Catalog,
+        annotator: PlanAnnotator,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.annotator = annotator
+        self.aliases = [rel.alias for rel in query.relations]
+
+    # ------------------------------------------------------------------
+
+    def best_join_plan(self) -> PlanNode:
+        """The cheapest left-deep join plan covering every relation."""
+        if not self.aliases:
+            raise OptimizerError("query has no relations")
+        best: dict[frozenset[str], PlanNode] = {}
+        for relation in self.query.relations:
+            leaf = best_access_path(
+                relation,
+                self.query.selection_predicates(relation.alias),
+                self.catalog,
+                self.annotator,
+            )
+            best[frozenset({relation.alias})] = leaf
+        if len(self.aliases) == 1:
+            return best[frozenset(self.aliases)]
+
+        all_aliases = frozenset(self.aliases)
+        for size in range(2, len(self.aliases) + 1):
+            for subset in _subsets(self.aliases, size):
+                candidates: list[PlanNode] = []
+                connected: list[PlanNode] = []
+                for alias in subset:
+                    rest = subset - {alias}
+                    left = best.get(rest)
+                    if left is None:
+                        continue
+                    joins = self._join_candidates(left, rest, alias, subset)
+                    for plan, is_connected in joins:
+                        # Children (the best sub-plan and the leaf access
+                        # path) are already annotated; only the new join
+                        # node needs costing.
+                        self.annotator.annotate_node(plan)
+                        candidates.append(plan)
+                        if is_connected:
+                            connected.append(plan)
+                pool = connected if connected else candidates
+                if not pool:
+                    continue
+                best[subset] = min(pool, key=lambda p: p.est.total_cost)
+        plan = best.get(all_aliases)
+        if plan is None:
+            raise OptimizerError("join enumeration failed to cover all relations")
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def _join_candidates(
+        self,
+        left: PlanNode,
+        left_aliases: frozenset[str],
+        new_alias: str,
+        subset: frozenset[str],
+    ) -> list[tuple[PlanNode, bool]]:
+        """Physical join alternatives adding ``new_alias`` to ``left``."""
+        relation = self.query.relation_for_alias(new_alias)
+        key_pairs, residual = self._classify_predicates(left_aliases, new_alias, subset)
+        is_connected = bool(key_pairs) or any(
+            len(p.qualifiers()) >= 2 for p in residual
+        )
+        candidates: list[tuple[PlanNode, bool]] = []
+
+        right = best_access_path(
+            relation,
+            self.query.selection_predicates(new_alias),
+            self.catalog,
+            self.annotator,
+        )
+
+        if key_pairs:
+            left_keys = [pair[0] for pair in key_pairs]
+            right_keys = [pair[1] for pair in key_pairs]
+            # Hash join, existing tree as build side.
+            candidates.append(
+                (HashJoinNode(left, right, key_pairs, residual), True)
+            )
+            # Hash join, new relation as build side.
+            swapped = [(r, l) for l, r in key_pairs]
+            candidates.append(
+                (HashJoinNode(right, left, swapped, residual), True)
+            )
+            # Indexed nested loops, probing the new relation's index.
+            table = self.catalog.table(relation.table_name)
+            for outer_col, inner_col in zip(left_keys, right_keys):
+                inner_base = inner_col.rsplit(".", 1)[-1]
+                index = self.catalog.index_on(relation.table_name, inner_base)
+                if index is None:
+                    continue
+                inl_residual = list(residual)
+                inl_residual.extend(self.query.selection_predicates(new_alias))
+                other_pairs = [
+                    pair for pair in key_pairs if pair != (outer_col, inner_col)
+                ]
+                for lcol, rcol in other_pairs:
+                    inl_residual.append(_equality(lcol, rcol))
+                candidates.append(
+                    (
+                        IndexNLJoinNode(
+                            outer=left,
+                            inner_table=relation.table_name,
+                            inner_alias=new_alias,
+                            inner_schema=table.schema.qualify(new_alias),
+                            outer_column=outer_col,
+                            inner_column=inner_base,
+                            residual=inl_residual,
+                        ),
+                        True,
+                    )
+                )
+        else:
+            candidates.append(
+                (BlockNLJoinNode(left, right, residual), is_connected)
+            )
+        return candidates
+
+    def _classify_predicates(
+        self,
+        left_aliases: frozenset[str],
+        new_alias: str,
+        subset: frozenset[str],
+    ) -> tuple[list[tuple[str, str]], list[Predicate]]:
+        """Split predicates into equi-join key pairs and residual conjuncts.
+
+        A predicate becomes applicable at this join when its qualifiers fit
+        inside ``subset`` but not inside ``left_aliases`` alone (those were
+        applied below) and not inside ``{new_alias}`` alone (applied at the
+        leaf).
+        """
+        key_pairs: list[tuple[str, str]] = []
+        residual: list[Predicate] = []
+        for pred in self.query.predicates:
+            quals = pred.qualifiers()
+            if not quals or not quals <= subset:
+                continue
+            if quals <= left_aliases or quals <= frozenset({new_alias}):
+                continue
+            if isinstance(pred, Comparison) and pred.is_equi_join:
+                left_col, right_col = pred.left.name, pred.right.name  # type: ignore[union-attr]
+                if qualifier_of(left_col) == new_alias:
+                    left_col, right_col = right_col, left_col
+                if (
+                    qualifier_of(left_col) in left_aliases
+                    and qualifier_of(right_col) == new_alias
+                ):
+                    key_pairs.append((left_col, right_col))
+                    continue
+            residual.append(pred)
+        return key_pairs, residual
+
+
+def _equality(left_col: str, right_col: str) -> Predicate:
+    """Build an ``a = b`` residual predicate between two columns."""
+    from ..plans.logical import ColumnExpr, CompareOp
+
+    return Comparison(CompareOp.EQ, ColumnExpr(left_col), ColumnExpr(right_col))
+
+
+def _subsets(items: Sequence[str], size: int):
+    """All frozenset subsets of ``items`` with the given size."""
+    from itertools import combinations
+
+    for combo in combinations(items, size):
+        yield frozenset(combo)

@@ -1,0 +1,53 @@
+"""Logical and physical query plan representations."""
+
+from .logical import (
+    AggFunc,
+    AggregateExpr,
+    AndPredicate,
+    ArithExpr,
+    BaseRelation,
+    ColumnExpr,
+    CompareOp,
+    Comparison,
+    ConstExpr,
+    FuncExpr,
+    InPredicate,
+    LogicalQuery,
+    NegExpr,
+    NotPredicate,
+    OrPredicate,
+    OrderItem,
+    OutputColumn,
+    Predicate,
+    ScalarExpr,
+    output_schema,
+)
+from .physical import (
+    BlockNLJoinNode,
+    DistinctNode,
+    CollectorSpec,
+    Estimates,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexNLJoinNode,
+    IndexScanNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+    StatsCollectorNode,
+)
+from .printer import collector_nodes, explain
+
+__all__ = [
+    "AggFunc", "AggregateExpr", "AndPredicate", "ArithExpr", "BaseRelation",
+    "BlockNLJoinNode", "CollectorSpec", "ColumnExpr", "CompareOp", "Comparison",
+    "ConstExpr", "DistinctNode", "Estimates", "FilterNode", "FuncExpr", "HashAggregateNode",
+    "HashJoinNode", "InPredicate", "IndexNLJoinNode", "IndexScanNode",
+    "LimitNode", "LogicalQuery", "NegExpr", "NotPredicate", "OrPredicate",
+    "OrderItem", "OutputColumn", "PlanNode", "Predicate", "ProjectNode",
+    "ScalarExpr", "SeqScanNode", "SortNode", "StatsCollectorNode",
+    "collector_nodes", "explain", "output_schema",
+]

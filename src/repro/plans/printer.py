@@ -1,0 +1,32 @@
+"""EXPLAIN-style plan rendering."""
+
+from __future__ import annotations
+
+from .physical import PlanNode, StatsCollectorNode
+
+
+def explain(plan: PlanNode, show_estimates: bool = True) -> str:
+    """Render a plan tree as an indented multi-line string."""
+    lines: list[str] = []
+    _render(plan, 0, lines, show_estimates)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: list[str], show_estimates: bool) -> None:
+    indent = "  " * depth
+    detail = node.detail()
+    head = f"{indent}{node.label}" + (f" [{detail}]" if detail else "")
+    if show_estimates:
+        est = node.est
+        head += f"  (rows={est.rows:.0f}, cost={est.total_cost:.1f}"
+        if est.max_memory_pages:
+            head += f", mem={est.min_memory_pages}..{est.max_memory_pages}p"
+        head += ")"
+    lines.append(head)
+    for child in node.children:
+        _render(child, depth + 1, lines, show_estimates)
+
+
+def collector_nodes(plan: PlanNode) -> list[StatsCollectorNode]:
+    """All statistics collectors in a plan, in pre-order."""
+    return [n for n in plan.walk() if isinstance(n, StatsCollectorNode)]

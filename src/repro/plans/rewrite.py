@@ -1,0 +1,88 @@
+"""Expression and predicate rewriting (column renames).
+
+Used by the remainder-query builder: when a subquery's output is
+materialised into a temporary table, every reference to a column produced by
+that subtree must be renamed to the temp table's column
+(``alias.col`` -> ``__temp_N.alias__col``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from ..errors import ReproError
+from .logical import (
+    AggregateExpr,
+    AndPredicate,
+    ArithExpr,
+    ColumnExpr,
+    Comparison,
+    ConstExpr,
+    FuncExpr,
+    InPredicate,
+    NegExpr,
+    NotPredicate,
+    OrPredicate,
+    OutputColumn,
+    Predicate,
+    ScalarExpr,
+)
+
+
+def rename_scalar(expr: ScalarExpr, mapping: Mapping[str, str]) -> ScalarExpr:
+    """Return ``expr`` with column references renamed per ``mapping``."""
+    if isinstance(expr, ColumnExpr):
+        new_name = mapping.get(expr.name)
+        return ColumnExpr(new_name) if new_name is not None else expr
+    if isinstance(expr, ConstExpr):
+        return expr
+    if isinstance(expr, ArithExpr):
+        return ArithExpr(
+            expr.op,
+            rename_scalar(expr.left, mapping),
+            rename_scalar(expr.right, mapping),
+        )
+    if isinstance(expr, NegExpr):
+        return NegExpr(rename_scalar(expr.child, mapping))
+    if isinstance(expr, FuncExpr):
+        return FuncExpr(
+            name=expr.name,
+            fn=expr.fn,
+            args=tuple(rename_scalar(a, mapping) for a in expr.args),
+        )
+    raise ReproError(f"cannot rename columns in {type(expr).__name__}")
+
+
+def rename_aggregate(expr: AggregateExpr, mapping: Mapping[str, str]) -> AggregateExpr:
+    """Rename column references inside an aggregate call."""
+    if expr.arg is None:
+        return expr
+    return AggregateExpr(func=expr.func, arg=rename_scalar(expr.arg, mapping))
+
+
+def rename_output(item: OutputColumn, mapping: Mapping[str, str]) -> OutputColumn:
+    """Rename column references inside one SELECT-list item."""
+    if isinstance(item.expr, AggregateExpr):
+        return replace(item, expr=rename_aggregate(item.expr, mapping))
+    return replace(item, expr=rename_scalar(item.expr, mapping))
+
+
+def rename_predicate(pred: Predicate, mapping: Mapping[str, str]) -> Predicate:
+    """Return ``pred`` with column references renamed per ``mapping``."""
+    if isinstance(pred, Comparison):
+        return Comparison(
+            pred.op,
+            rename_scalar(pred.left, mapping),
+            rename_scalar(pred.right, mapping),
+            param_based=pred.param_based,
+        )
+    if isinstance(pred, InPredicate):
+        return InPredicate(rename_scalar(pred.expr, mapping), pred.values)
+    if isinstance(pred, OrPredicate):
+        return OrPredicate(tuple(rename_predicate(c, mapping) for c in pred.children))
+    if isinstance(pred, AndPredicate):
+        return AndPredicate(tuple(rename_predicate(c, mapping) for c in pred.children))
+    if isinstance(pred, NotPredicate):
+        return NotPredicate(rename_predicate(pred.child, mapping))
+    raise ReproError(f"cannot rename columns in predicate {type(pred).__name__}")

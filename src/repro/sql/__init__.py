@@ -1,0 +1,8 @@
+"""SQL front end: lexer, parser, binder, deparser."""
+
+from .binder import Binder, bind
+from .deparser import deparse
+from .lexer import Token, TokenType, tokenize
+from .parser import Parser, parse
+
+__all__ = ["Binder", "Parser", "Token", "TokenType", "bind", "deparse", "parse", "tokenize"]

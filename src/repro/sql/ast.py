@@ -1,0 +1,172 @@
+"""The raw (pre-binding) SQL abstract syntax tree.
+
+These nodes mirror the surface syntax; names are unresolved strings.  The
+binder turns them into the bound model of :mod:`repro.plans.logical`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AstNode:
+    """Marker base class for AST nodes."""
+
+
+# -- scalar expressions -------------------------------------------------
+
+
+class AstExpr(AstNode):
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class AstColumn(AstExpr):
+    """A column reference, optionally qualified (``table.column``)."""
+
+    qualifier: str | None
+    name: str
+
+
+@dataclass(frozen=True)
+class AstLiteral(AstExpr):
+    """A literal constant (int, float or string)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class AstParameter(AstExpr):
+    """A host-variable parameter (``:name``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AstArith(AstExpr):
+    """Binary arithmetic."""
+
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class AstNeg(AstExpr):
+    """Unary minus."""
+
+    child: AstExpr
+
+
+@dataclass(frozen=True)
+class AstFuncCall(AstExpr):
+    """A scalar function call (resolved against the UDF registry by the binder)."""
+
+    name: str
+    args: tuple[AstExpr, ...]
+
+
+@dataclass(frozen=True)
+class AstAggregate(AstExpr):
+    """An aggregate call; ``arg`` is None for ``COUNT(*)``."""
+
+    func: str
+    arg: AstExpr | None
+
+
+# -- boolean expressions -------------------------------------------------
+
+
+class AstCondition(AstNode):
+    """Base class for boolean condition nodes."""
+
+
+@dataclass(frozen=True)
+class AstComparison(AstCondition):
+    """``left op right``."""
+
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class AstBetween(AstCondition):
+    """``expr BETWEEN low AND high``."""
+
+    expr: AstExpr
+    low: AstExpr
+    high: AstExpr
+
+
+@dataclass(frozen=True)
+class AstIn(AstCondition):
+    """``expr IN (v1, v2, ...)``."""
+
+    expr: AstExpr
+    values: tuple[AstExpr, ...]
+
+
+@dataclass(frozen=True)
+class AstAnd(AstCondition):
+    """Conjunction."""
+
+    left: AstCondition
+    right: AstCondition
+
+
+@dataclass(frozen=True)
+class AstOr(AstCondition):
+    """Disjunction."""
+
+    left: AstCondition
+    right: AstCondition
+
+
+@dataclass(frozen=True)
+class AstNot(AstCondition):
+    """Negation."""
+
+    child: AstCondition
+
+
+# -- statement ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AstSelectItem(AstNode):
+    """One SELECT-list item with an optional alias."""
+
+    expr: AstExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class AstTableRef(AstNode):
+    """One FROM-clause table with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class AstOrderItem(AstNode):
+    """One ORDER BY key."""
+
+    expr: AstExpr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class AstSelect(AstNode):
+    """A full SELECT statement."""
+
+    items: tuple[AstSelectItem, ...]
+    tables: tuple[AstTableRef, ...]
+    where: AstCondition | None = None
+    group_by: tuple[AstColumn, ...] = ()
+    having: AstCondition | None = None
+    order_by: tuple[AstOrderItem, ...] = ()
+    limit: int | None = None
+    select_star: bool = False
+    distinct: bool = False

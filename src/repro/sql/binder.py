@@ -1,0 +1,448 @@
+"""Name resolution: raw AST -> bound :class:`~repro.plans.logical.LogicalQuery`.
+
+The binder resolves table and column names against the catalog, substitutes
+host-variable parameters (``:name``) with their values while *marking* the
+resulting comparisons as parameter-based (the estimator then refuses to use
+the value, mirroring compile-time optimization of parameterised queries),
+resolves scalar UDF calls against a registry, flattens top-level AND chains
+into conjunct lists, splits BETWEEN into two range comparisons, and validates
+the aggregate/group-by discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import BindError
+from ..plans.logical import (
+    AggFunc,
+    AggregateExpr,
+    AndPredicate,
+    ArithExpr,
+    BaseRelation,
+    ColumnExpr,
+    CompareOp,
+    Comparison,
+    ConstExpr,
+    FuncExpr,
+    InPredicate,
+    LogicalQuery,
+    NegExpr,
+    NotPredicate,
+    OrPredicate,
+    OrderItem,
+    OutputColumn,
+    Predicate,
+    ScalarExpr,
+)
+from ..storage.catalog import Catalog
+from .ast import (
+    AstAggregate,
+    AstAnd,
+    AstArith,
+    AstBetween,
+    AstColumn,
+    AstComparison,
+    AstCondition,
+    AstExpr,
+    AstFuncCall,
+    AstIn,
+    AstLiteral,
+    AstNeg,
+    AstNot,
+    AstOr,
+    AstParameter,
+    AstSelect,
+)
+
+UdfRegistry = Mapping[str, Callable]
+
+
+class _Scope:
+    """Alias -> schema mapping with unqualified-name resolution."""
+
+    def __init__(self, catalog: Catalog, relations: list[BaseRelation]) -> None:
+        self.aliases: dict[str, list[str]] = {}
+        for rel in relations:
+            schema = catalog.table(rel.table_name).schema
+            self.aliases[rel.alias] = [c.base_name for c in schema]
+
+    def resolve(self, qualifier: str | None, name: str) -> str:
+        """Resolve a column reference to its qualified ``alias.column`` form."""
+        lowered = name.lower()
+        if qualifier is not None:
+            alias = qualifier.lower()
+            if alias not in self.aliases:
+                raise BindError(f"unknown table alias {qualifier!r}")
+            if lowered not in (c.lower() for c in self.aliases[alias]):
+                raise BindError(f"column {name!r} not found in {qualifier!r}")
+            return f"{alias}.{lowered}"
+        matches = [
+            alias
+            for alias, cols in self.aliases.items()
+            if lowered in (c.lower() for c in cols)
+        ]
+        if not matches:
+            raise BindError(f"unknown column {name!r}")
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {name!r}: in tables {sorted(matches)}")
+        return f"{matches[0]}.{lowered}"
+
+
+class Binder:
+    """Binds one parsed SELECT statement against a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        udfs: UdfRegistry | None = None,
+        params: Mapping[str, object] | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.udfs = dict(udfs or {})
+        self.params = dict(params or {})
+
+    # -- entry point -----------------------------------------------------
+
+    def bind(self, stmt: AstSelect) -> LogicalQuery:
+        """Produce a :class:`LogicalQuery` or raise :class:`BindError`."""
+        relations = self._bind_relations(stmt)
+        scope = _Scope(self.catalog, relations)
+        predicates: list[Predicate] = []
+        if stmt.where is not None:
+            predicates = self._bind_conjuncts(stmt.where, scope)
+        group_by = tuple(
+            scope.resolve(col.qualifier, col.name) for col in stmt.group_by
+        )
+        output = self._bind_output(stmt, scope, group_by)
+        having: list[Predicate] = []
+        if stmt.having is not None:
+            if not group_by and not any(item.is_aggregate for item in output):
+                raise BindError("HAVING requires GROUP BY or aggregates")
+            having = self._bind_having_conjuncts(stmt.having, scope, output)
+        order_by = self._bind_order(stmt, output)
+        return LogicalQuery(
+            relations=tuple(relations),
+            predicates=tuple(predicates),
+            output=tuple(output),
+            group_by=group_by,
+            having=tuple(having),
+            order_by=order_by,
+            limit=stmt.limit,
+            distinct=stmt.distinct,
+        )
+
+    # -- FROM ------------------------------------------------------------
+
+    def _bind_relations(self, stmt: AstSelect) -> list[BaseRelation]:
+        relations: list[BaseRelation] = []
+        seen: set[str] = set()
+        for ref in stmt.tables:
+            if ref.name.lower() not in self.catalog:
+                raise BindError(f"unknown table {ref.name!r}")
+            alias = (ref.alias or ref.name).lower()
+            if alias in seen:
+                raise BindError(f"duplicate table alias {alias!r}")
+            seen.add(alias)
+            relations.append(BaseRelation(table_name=ref.name.lower(), alias=alias))
+        return relations
+
+    # -- SELECT list -------------------------------------------------------
+
+    def _bind_output(
+        self, stmt: AstSelect, scope: _Scope, group_by: tuple[str, ...]
+    ) -> list[OutputColumn]:
+        output: list[OutputColumn] = []
+        used_names: set[str] = set()
+
+        def unique_name(base: str) -> str:
+            name = base
+            counter = 2
+            while name in used_names:
+                name = f"{base}_{counter}"
+                counter += 1
+            used_names.add(name)
+            return name
+
+        if stmt.select_star:
+            for alias, cols in scope.aliases.items():
+                for col in cols:
+                    qualified = f"{alias}.{col.lower()}"
+                    output.append(
+                        OutputColumn(name=unique_name(col.lower()), expr=ColumnExpr(qualified))
+                    )
+        else:
+            for index, item in enumerate(stmt.items):
+                expr = self._bind_item_expr(item.expr, scope)
+                if item.alias:
+                    base = item.alias.lower()
+                elif isinstance(expr, ColumnExpr):
+                    base = expr.name.rsplit(".", 1)[-1]
+                elif isinstance(expr, AggregateExpr):
+                    arg_cols = sorted(expr.columns())
+                    suffix = arg_cols[0].rsplit(".", 1)[-1] if arg_cols else "all"
+                    base = f"{expr.func.value}_{suffix}"
+                else:
+                    base = f"expr_{index + 1}"
+                output.append(OutputColumn(name=unique_name(base), expr=expr))
+
+        has_aggs = any(item.is_aggregate for item in output)
+        if group_by or has_aggs:
+            group_set = set(group_by)
+            for item in output:
+                if item.is_aggregate:
+                    continue
+                if not isinstance(item.expr, ColumnExpr) or item.expr.name not in group_set:
+                    raise BindError(
+                        f"output {item.name!r} must be an aggregate or a GROUP BY column"
+                    )
+        return output
+
+    def _bind_item_expr(self, expr: AstExpr, scope: _Scope) -> ScalarExpr | AggregateExpr:
+        if isinstance(expr, AstAggregate):
+            func = AggFunc(expr.func)
+            if expr.arg is None:
+                return AggregateExpr(func=func, arg=None)
+            arg, __ = self._bind_scalar(expr.arg, scope)
+            return AggregateExpr(func=func, arg=arg)
+        bound, __ = self._bind_scalar(expr, scope)
+        return bound
+
+    # -- ORDER BY ---------------------------------------------------------
+
+    def _bind_order(
+        self, stmt: AstSelect, output: list[OutputColumn]
+    ) -> tuple[OrderItem, ...]:
+        items: list[OrderItem] = []
+        by_name = {item.name: item for item in output}
+        by_column: dict[str, str] = {}
+        for item in output:
+            if isinstance(item.expr, ColumnExpr):
+                by_column[item.expr.name] = item.name
+                by_column.setdefault(item.expr.name.rsplit(".", 1)[-1], item.name)
+        for order in stmt.order_by:
+            expr = order.expr
+            if not isinstance(expr, AstColumn):
+                raise BindError("ORDER BY supports only column or alias references")
+            candidates = []
+            if expr.qualifier:
+                candidates.append(f"{expr.qualifier.lower()}.{expr.name.lower()}")
+            candidates.append(expr.name.lower())
+            resolved = None
+            for cand in candidates:
+                if cand in by_name:
+                    resolved = cand
+                    break
+                if cand in by_column:
+                    resolved = by_column[cand]
+                    break
+            if resolved is None:
+                raise BindError(f"ORDER BY key {expr.name!r} is not in the select list")
+            items.append(OrderItem(name=resolved, ascending=order.ascending))
+        return tuple(items)
+
+    # -- WHERE -------------------------------------------------------------
+
+    def _bind_conjuncts(self, cond: AstCondition, scope: _Scope) -> list[Predicate]:
+        if isinstance(cond, AstAnd):
+            return self._bind_conjuncts(cond.left, scope) + self._bind_conjuncts(
+                cond.right, scope
+            )
+        if isinstance(cond, AstBetween):
+            expr, has_param = self._bind_scalar(cond.expr, scope)
+            low, low_param = self._bind_scalar(cond.low, scope)
+            high, high_param = self._bind_scalar(cond.high, scope)
+            return [
+                Comparison(CompareOp.GE, expr, low, param_based=has_param or low_param),
+                Comparison(CompareOp.LE, expr, high, param_based=has_param or high_param),
+            ]
+        return [self._bind_condition(cond, scope)]
+
+    def _bind_condition(self, cond: AstCondition, scope: _Scope) -> Predicate:
+        if isinstance(cond, AstAnd):
+            children = self._bind_conjuncts(cond, scope)
+            if len(children) == 1:
+                return children[0]
+            return AndPredicate(tuple(children))
+        if isinstance(cond, AstOr):
+            children: list[Predicate] = []
+            for side in (cond.left, cond.right):
+                bound = self._bind_condition(side, scope)
+                if isinstance(bound, OrPredicate):
+                    children.extend(bound.children)
+                else:
+                    children.append(bound)
+            return OrPredicate(tuple(children))
+        if isinstance(cond, AstNot):
+            return NotPredicate(self._bind_condition(cond.child, scope))
+        if isinstance(cond, AstComparison):
+            left, left_param = self._bind_scalar(cond.left, scope)
+            right, right_param = self._bind_scalar(cond.right, scope)
+            return Comparison(
+                CompareOp(cond.op), left, right, param_based=left_param or right_param
+            ).normalized()
+        if isinstance(cond, AstBetween):
+            children = self._bind_conjuncts(cond, scope)
+            return AndPredicate(tuple(children))
+        if isinstance(cond, AstIn):
+            expr, __ = self._bind_scalar(cond.expr, scope)
+            values = []
+            for value_expr in cond.values:
+                bound, __ = self._bind_scalar(value_expr, scope)
+                if not isinstance(bound, ConstExpr):
+                    raise BindError("IN lists must contain constants")
+                values.append(bound.value)
+            return InPredicate(expr=expr, values=tuple(values))
+        raise BindError(f"unsupported condition {cond!r}")
+
+    # -- HAVING ------------------------------------------------------------
+
+    def _bind_having_conjuncts(
+        self, cond: AstCondition, scope: _Scope, output: list[OutputColumn]
+    ) -> list[Predicate]:
+        """Bind a HAVING condition into conjuncts over *output* columns.
+
+        Aggregate calls must match a select-list aggregate (they become
+        references to that output column); bare columns must be select
+        aliases or grouped columns present in the output.
+        """
+        if isinstance(cond, AstAnd):
+            return self._bind_having_conjuncts(
+                cond.left, scope, output
+            ) + self._bind_having_conjuncts(cond.right, scope, output)
+        return [self._bind_having_condition(cond, scope, output)]
+
+    def _bind_having_condition(
+        self, cond: AstCondition, scope: _Scope, output: list[OutputColumn]
+    ) -> Predicate:
+        if isinstance(cond, AstAnd):
+            children = self._bind_having_conjuncts(cond, scope, output)
+            return children[0] if len(children) == 1 else AndPredicate(tuple(children))
+        if isinstance(cond, AstOr):
+            left = self._bind_having_condition(cond.left, scope, output)
+            right = self._bind_having_condition(cond.right, scope, output)
+            children = []
+            for side in (left, right):
+                if isinstance(side, OrPredicate):
+                    children.extend(side.children)
+                else:
+                    children.append(side)
+            return OrPredicate(tuple(children))
+        if isinstance(cond, AstNot):
+            return NotPredicate(self._bind_having_condition(cond.child, scope, output))
+        if isinstance(cond, AstComparison):
+            left, lp = self._bind_having_scalar(cond.left, scope, output)
+            right, rp = self._bind_having_scalar(cond.right, scope, output)
+            return Comparison(CompareOp(cond.op), left, right, param_based=lp or rp)
+        if isinstance(cond, AstBetween):
+            expr, ep = self._bind_having_scalar(cond.expr, scope, output)
+            low, lp = self._bind_having_scalar(cond.low, scope, output)
+            high, hp = self._bind_having_scalar(cond.high, scope, output)
+            return AndPredicate(
+                (
+                    Comparison(CompareOp.GE, expr, low, param_based=ep or lp),
+                    Comparison(CompareOp.LE, expr, high, param_based=ep or hp),
+                )
+            )
+        if isinstance(cond, AstIn):
+            expr, __ = self._bind_having_scalar(cond.expr, scope, output)
+            values = []
+            for value_expr in cond.values:
+                bound, __p = self._bind_scalar(value_expr, scope)
+                if not isinstance(bound, ConstExpr):
+                    raise BindError("IN lists must contain constants")
+                values.append(bound.value)
+            return InPredicate(expr=expr, values=tuple(values))
+        raise BindError(f"unsupported HAVING condition {cond!r}")
+
+    def _bind_having_scalar(
+        self, expr: AstExpr, scope: _Scope, output: list[OutputColumn]
+    ) -> tuple[ScalarExpr, bool]:
+        from .ast import AstColumn as _AstColumn
+
+        if isinstance(expr, AstAggregate):
+            bound = self._bind_item_expr(expr, scope)
+            for item in output:
+                if item.expr == bound:
+                    return ColumnExpr(item.name), False
+            raise BindError(
+                f"HAVING aggregate {bound.sql()} must also appear in the select list"
+            )
+        if isinstance(expr, _AstColumn):
+            candidates = []
+            if expr.qualifier is None:
+                candidates.append(expr.name.lower())
+            by_name = {item.name for item in output}
+            for cand in candidates:
+                if cand in by_name:
+                    return ColumnExpr(cand), False
+            qualified = scope.resolve(expr.qualifier, expr.name)
+            for item in output:
+                if isinstance(item.expr, ColumnExpr) and item.expr.name == qualified:
+                    return ColumnExpr(item.name), False
+            raise BindError(
+                f"HAVING column {expr.name!r} must be a select alias or a "
+                "grouped column in the select list"
+            )
+        if isinstance(expr, AstArith):
+            left, lp = self._bind_having_scalar(expr.left, scope, output)
+            right, rp = self._bind_having_scalar(expr.right, scope, output)
+            return ArithExpr(expr.op, left, right), lp or rp
+        if isinstance(expr, AstNeg):
+            child, has_param = self._bind_having_scalar(expr.child, scope, output)
+            return NegExpr(child), has_param
+        # Literals and parameters bind exactly as in WHERE.
+        return self._bind_scalar(expr, scope)
+
+    # -- scalar expressions --------------------------------------------------
+
+    def _bind_scalar(self, expr: AstExpr, scope: _Scope) -> tuple[ScalarExpr, bool]:
+        """Bind a scalar expression; the bool reports parameter usage inside."""
+        if isinstance(expr, AstLiteral):
+            return ConstExpr(expr.value), False
+        if isinstance(expr, AstColumn):
+            return ColumnExpr(scope.resolve(expr.qualifier, expr.name)), False
+        if isinstance(expr, AstArith):
+            left, lp = self._bind_scalar(expr.left, scope)
+            right, rp = self._bind_scalar(expr.right, scope)
+            if isinstance(left, ConstExpr) and isinstance(right, ConstExpr):
+                folded = ArithExpr(expr.op, left, right)
+                # Constant folding keeps predicates in column-vs-constant form.
+                from ..storage.schema import Schema as _S
+
+                value = folded.compile(_S([]))(())
+                return ConstExpr(value), lp or rp
+            return ArithExpr(expr.op, left, right), lp or rp
+        if isinstance(expr, AstNeg):
+            child, has_param = self._bind_scalar(expr.child, scope)
+            if isinstance(child, ConstExpr) and isinstance(child.value, (int, float)):
+                return ConstExpr(-child.value), has_param
+            return NegExpr(child), has_param
+        if isinstance(expr, AstParameter):
+            if expr.name not in self.params:
+                raise BindError(f"no value supplied for parameter :{expr.name}")
+            return ConstExpr(self.params[expr.name]), True
+        if isinstance(expr, AstFuncCall):
+            name = expr.name.lower()
+            if name not in self.udfs:
+                raise BindError(f"unknown function {expr.name!r}")
+            args = []
+            has_param = False
+            for arg in expr.args:
+                bound, param = self._bind_scalar(arg, scope)
+                args.append(bound)
+                has_param = has_param or param
+            return FuncExpr(name=name, fn=self.udfs[name], args=tuple(args)), has_param
+        if isinstance(expr, AstAggregate):
+            raise BindError("aggregates are only allowed in the SELECT list")
+        raise BindError(f"unsupported expression {expr!r}")
+
+
+def bind(
+    stmt: AstSelect,
+    catalog: Catalog,
+    udfs: UdfRegistry | None = None,
+    params: Mapping[str, object] | None = None,
+) -> LogicalQuery:
+    """Convenience wrapper: bind ``stmt`` against ``catalog``."""
+    return Binder(catalog, udfs=udfs, params=params).bind(stmt)

@@ -1,0 +1,37 @@
+"""Deparser: bound :class:`~repro.plans.logical.LogicalQuery` -> SQL text.
+
+Dynamic Re-Optimization's plan-modification step regenerates SQL for the
+*remainder* of a query in terms of a temporary table and re-submits it to
+the parser/optimizer like a regular query (paper Figure 6).  The deparser is
+what performs that regeneration; it is also handy for debugging and for
+round-trip testing of the parser/binder.
+
+Output uses explicit ``alias.column`` references everywhere, so the result
+always re-binds unambiguously.
+"""
+
+from __future__ import annotations
+
+from ..plans.logical import LogicalQuery
+
+
+def deparse(query: LogicalQuery) -> str:
+    """Render a bound query back to executable SQL text."""
+    parts: list[str] = []
+    select_list = ", ".join(item.sql() for item in query.output)
+    keyword = "SELECT DISTINCT" if query.distinct else "SELECT"
+    parts.append(f"{keyword} {select_list}")
+    from_list = ", ".join(rel.sql() for rel in query.relations)
+    parts.append(f"FROM {from_list}")
+    if query.predicates:
+        where = " AND ".join(p.sql() for p in query.predicates)
+        parts.append(f"WHERE {where}")
+    if query.group_by:
+        parts.append("GROUP BY " + ", ".join(query.group_by))
+    if query.having:
+        parts.append("HAVING " + " AND ".join(p.sql() for p in query.having))
+    if query.order_by:
+        parts.append("ORDER BY " + ", ".join(item.sql() for item in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)

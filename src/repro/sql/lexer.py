@@ -1,0 +1,129 @@
+"""A hand-written lexer for the SQL subset.
+
+Produces a flat list of :class:`Token` objects.  Keywords are
+case-insensitive; identifiers preserve case but compare case-insensitively
+downstream.  Supported literal forms: integers, decimals, single-quoted
+strings (with ``''`` escaping), ``DATE 'YYYY-MM-DD'`` (handled by the
+parser), and host-variable parameters ``:name``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import LexerError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "having", "limit",
+    "and", "or", "not", "in", "between", "as", "asc", "desc", "date",
+    "sum", "avg", "count", "min", "max", "distinct",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PARAM = "param"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ".")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # SQL line comment.
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            if i < n and text[i] == "." and i + 1 < n and text[i + 1].isdigit():
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise LexerError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        if ch == ":":
+            start = i
+            i += 1
+            if i >= n or not (text[i].isalpha() or text[i] == "_"):
+                raise LexerError("expected parameter name after ':'", start)
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(Token(TokenType.PARAM, text[start + 1 : i], start))
+            continue
+        matched = False
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                value = "<>" if sym == "!=" else sym
+                tokens.append(Token(TokenType.SYMBOL, value, i))
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,332 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informally)::
+
+    select    := SELECT [DISTINCT] ('*' | item (',' item)*)
+                 FROM table_ref (',' table_ref)*
+                 [WHERE condition] [GROUP BY column (',' column)*]
+                 [HAVING condition]
+                 [ORDER BY order_item (',' order_item)*] [LIMIT number]
+    item      := expr [AS ident | ident]
+    table_ref := ident [AS ident | ident]
+    condition := or_cond
+    or_cond   := and_cond (OR and_cond)*
+    and_cond  := not_cond (AND not_cond)*
+    not_cond  := NOT not_cond | predicate
+    predicate := expr (cmp expr | BETWEEN expr AND expr | IN '(' expr, ... ')')
+               | '(' condition ')'
+    expr      := term (('+'|'-') term)*
+    term      := factor (('*'|'/') factor)*
+    factor    := ['-'] primary
+    primary   := literal | DATE string | ':'param | agg '(' ('*'|expr) ')'
+               | ident '(' args ')' | [ident '.'] ident | '(' expr ')'
+
+Dates become integer ordinals at parse time, so downstream layers treat them
+as plain numbers.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..storage.schema import date_to_int
+from .ast import (
+    AstAggregate,
+    AstAnd,
+    AstArith,
+    AstBetween,
+    AstColumn,
+    AstComparison,
+    AstCondition,
+    AstExpr,
+    AstFuncCall,
+    AstIn,
+    AstLiteral,
+    AstNeg,
+    AstNot,
+    AstOr,
+    AstOrderItem,
+    AstParameter,
+    AstSelect,
+    AstSelectItem,
+    AstTableRef,
+)
+from .lexer import Token, TokenType, tokenize
+
+_AGG_FUNCS = {"sum", "avg", "count", "min", "max"}
+_COMPARE_SYMBOLS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Single-statement recursive-descent parser over a token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(f"expected {word.upper()!r}, found {self.current.value!r}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.type is TokenType.SYMBOL and self.current.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise ParseError(f"expected {symbol!r}, found {self.current.value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.value
+        # Allow non-reserved-looking keywords as identifiers where sensible.
+        raise ParseError(f"expected identifier, found {token.value!r}")
+
+    # -- entry point ----------------------------------------------------
+
+    def parse_select(self) -> AstSelect:
+        """Parse one SELECT statement; trailing tokens are an error."""
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        select_star = False
+        items: list[AstSelectItem] = []
+        if self.accept_symbol("*"):
+            select_star = True
+        else:
+            items.append(self._select_item())
+            while self.accept_symbol(","):
+                items.append(self._select_item())
+        self.expect_keyword("from")
+        tables = [self._table_ref()]
+        while self.accept_symbol(","):
+            tables.append(self._table_ref())
+        where = None
+        if self.accept_keyword("where"):
+            where = self._condition()
+        group_by: list[AstColumn] = []
+        order_by: list[AstOrderItem] = []
+        having = None
+        limit = None
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self._column_ref())
+            while self.accept_symbol(","):
+                group_by.append(self._column_ref())
+        if self.accept_keyword("having"):
+            having = self._condition()
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._order_item())
+            while self.accept_symbol(","):
+                order_by.append(self._order_item())
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise ParseError(f"expected a number after LIMIT, found {token.value!r}")
+            self.advance()
+            limit = int(token.value)
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input at {self.current.value!r}")
+        return AstSelect(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            select_star=select_star,
+            distinct=distinct,
+        )
+
+    # -- clause pieces ----------------------------------------------------
+
+    def _select_item(self) -> AstSelectItem:
+        expr = self._expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return AstSelectItem(expr=expr, alias=alias)
+
+    def _table_ref(self) -> AstTableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return AstTableRef(name=name, alias=alias)
+
+    def _order_item(self) -> AstOrderItem:
+        expr = self._expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return AstOrderItem(expr=expr, ascending=ascending)
+
+    def _column_ref(self) -> AstColumn:
+        first = self.expect_ident()
+        if self.accept_symbol("."):
+            return AstColumn(qualifier=first, name=self.expect_ident())
+        return AstColumn(qualifier=None, name=first)
+
+    # -- conditions ------------------------------------------------------
+
+    def _condition(self) -> AstCondition:
+        return self._or_cond()
+
+    def _or_cond(self) -> AstCondition:
+        left = self._and_cond()
+        while self.accept_keyword("or"):
+            left = AstOr(left, self._and_cond())
+        return left
+
+    def _and_cond(self) -> AstCondition:
+        left = self._not_cond()
+        while self.accept_keyword("and"):
+            left = AstAnd(left, self._not_cond())
+        return left
+
+    def _not_cond(self) -> AstCondition:
+        if self.accept_keyword("not"):
+            return AstNot(self._not_cond())
+        return self._predicate()
+
+    def _predicate(self) -> AstCondition:
+        # A parenthesis may open either a nested condition or an expression;
+        # try the condition first and fall back on failure.
+        if self.current.type is TokenType.SYMBOL and self.current.value == "(":
+            saved = self.pos
+            try:
+                self.advance()
+                inner = self._condition()
+                self.expect_symbol(")")
+                return inner
+            except ParseError:
+                self.pos = saved
+        left = self._expr()
+        token = self.current
+        if token.type is TokenType.SYMBOL and token.value in _COMPARE_SYMBOLS:
+            op = self.advance().value
+            right = self._expr()
+            return AstComparison(op=op, left=left, right=right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._expr()
+            self.expect_keyword("and")
+            high = self._expr()
+            return AstBetween(expr=left, low=low, high=high)
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_symbol("(")
+            values = [self._expr()]
+            while self.accept_symbol(","):
+                values.append(self._expr())
+            self.expect_symbol(")")
+            return AstIn(expr=left, values=tuple(values))
+        raise ParseError(f"expected a predicate operator, found {token.value!r}")
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self) -> AstExpr:
+        left = self._term()
+        while self.current.type is TokenType.SYMBOL and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = AstArith(op=op, left=left, right=self._term())
+        return left
+
+    def _term(self) -> AstExpr:
+        left = self._factor()
+        while self.current.type is TokenType.SYMBOL and self.current.value in ("*", "/"):
+            op = self.advance().value
+            left = AstArith(op=op, left=left, right=self._factor())
+        return left
+
+    def _factor(self) -> AstExpr:
+        if self.accept_symbol("-"):
+            return AstNeg(self._factor())
+        return self._primary()
+
+    def _primary(self) -> AstExpr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            if "." in token.value:
+                return AstLiteral(float(token.value))
+            return AstLiteral(int(token.value))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return AstLiteral(token.value)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            return AstParameter(token.value)
+        if token.is_keyword("date"):
+            self.advance()
+            literal = self.current
+            if literal.type is not TokenType.STRING:
+                raise ParseError("expected a date string after DATE")
+            self.advance()
+            try:
+                return AstLiteral(date_to_int(literal.value))
+            except ValueError as exc:
+                raise ParseError(f"invalid date literal {literal.value!r}") from exc
+        if token.type is TokenType.KEYWORD and token.value in _AGG_FUNCS:
+            func = self.advance().value
+            self.expect_symbol("(")
+            if self.accept_symbol("*"):
+                if func != "count":
+                    raise ParseError(f"{func.upper()}(*) is not valid")
+                self.expect_symbol(")")
+                return AstAggregate(func=func, arg=None)
+            arg = self._expr()
+            self.expect_symbol(")")
+            return AstAggregate(func=func, arg=arg)
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            if self.accept_symbol("("):
+                args = []
+                if not self.accept_symbol(")"):
+                    args.append(self._expr())
+                    while self.accept_symbol(","):
+                        args.append(self._expr())
+                    self.expect_symbol(")")
+                return AstFuncCall(name=name, args=tuple(args))
+            if self.accept_symbol("."):
+                return AstColumn(qualifier=name, name=self.expect_ident())
+            return AstColumn(qualifier=None, name=name)
+        if self.accept_symbol("("):
+            inner = self._expr()
+            self.expect_symbol(")")
+            return inner
+        raise ParseError(f"unexpected token {token.value!r} in expression")
+
+
+def parse(text: str) -> AstSelect:
+    """Parse one SELECT statement from ``text``."""
+    return Parser(text).parse_select()

@@ -1,0 +1,61 @@
+"""Reservoir sampling (Vitter, Algorithm R).
+
+The paper's statistics collectors keep one database page worth of sampled
+attribute values per collected histogram, filled with Vitter's reservoir
+sampling [24]; when the input is exhausted the reservoir is turned into a
+histogram ([19]'s recommendation).  :class:`Reservoir` implements exactly
+that single-pass, fixed-memory sampler with a deterministic seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..errors import StatisticsError
+
+
+class Reservoir:
+    """A fixed-capacity uniform random sample maintained in one pass."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise StatisticsError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self._sample: list = []
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def add(self, value) -> None:
+        """Offer one value to the reservoir (Algorithm R replacement step)."""
+        self.seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    def extend(self, values: Iterable) -> None:
+        """Offer every value from an iterable."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def sample(self) -> Sequence:
+        """The current sample (length ``min(capacity, seen)``)."""
+        return tuple(self._sample)
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when the reservoir holds *every* value seen so far."""
+        return self.seen <= self.capacity
+
+    def scale_factor(self) -> float:
+        """Multiplier mapping sample frequencies to population frequencies."""
+        if not self._sample:
+            return 0.0
+        return self.seen / len(self._sample)

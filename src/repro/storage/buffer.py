@@ -1,0 +1,105 @@
+"""A simulated LRU buffer pool.
+
+Scans and index lookups route their page requests through the buffer pool;
+only misses charge the :class:`~repro.storage.disk.CostClock`.  The pool is
+identified-page based (``(owner_id, page_no)``), write-through, and keeps
+simple hit/miss counters so experiments can report buffer behaviour.
+
+The paper kept the Paradise buffer pool deliberately small (32 MB/node) so
+that memory-management effects were visible; the default pool here is small
+relative to workload sizes for the same reason.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .disk import CostClock
+
+PageKey = tuple[int, int]
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters for a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from the pool (0.0 when unused)."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferPool:
+    """LRU buffer pool over simulated pages.
+
+    The pool stores page *identities* only — row data lives in the owning
+    :class:`~repro.storage.table.Table` — because the simulation only needs to
+    know whether an access is a hit (free) or a miss (charged to the clock).
+    """
+
+    def __init__(self, capacity_pages: int, clock: CostClock) -> None:
+        if capacity_pages <= 0:
+            raise ValueError(f"buffer pool capacity must be positive, got {capacity_pages}")
+        self.capacity = capacity_pages
+        self.clock = clock
+        self.stats = BufferStats()
+        self._pages: OrderedDict[PageKey, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def access(self, owner_id: int, page_no: int, sequential: bool = True) -> bool:
+        """Request a page; charge the clock on a miss.
+
+        Returns ``True`` on a buffer hit.  ``sequential`` selects the read
+        cost charged on a miss (sequential vs random page read).
+        """
+        key = (owner_id, page_no)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if sequential:
+            self.clock.charge_seq_read(1)
+        else:
+            self.clock.charge_rand_read(1)
+        self._admit(key)
+        return False
+
+    def write(self, owner_id: int, page_no: int) -> None:
+        """Write a page through to disk (always charged) and cache it."""
+        key = (owner_id, page_no)
+        self.clock.charge_write(1)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+        else:
+            self._admit(key)
+
+    def invalidate_owner(self, owner_id: int) -> None:
+        """Drop every cached page belonging to ``owner_id`` (e.g. temp drop)."""
+        stale = [key for key in self._pages if key[0] == owner_id]
+        for key in stale:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        """Empty the pool (counters are preserved)."""
+        self._pages.clear()
+
+    def _admit(self, key: PageKey) -> None:
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        self._pages[key] = None

@@ -1,0 +1,109 @@
+"""The simulated cost clock.
+
+The paper evaluates Dynamic Re-Optimization by wall-clock time on a Paradise
+cluster.  Our substitute is a deterministic :class:`CostClock`: every page
+I/O and every unit of CPU work charges a fixed number of cost units (see
+:class:`repro.config.CostParameters`).  Operators charge the clock as they
+process real tuples, so "execution time" is reproducible bit-for-bit across
+runs and machines while preserving the relative costs that drive the paper's
+conclusions.
+
+The clock also keeps a per-category breakdown, which the execution profile
+exposes (sequential reads vs random reads vs writes vs CPU vs statistics
+collection vs optimizer time) — useful for the overhead experiments (E5/E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CostParameters
+
+
+@dataclass
+class CostBreakdown:
+    """Accumulated cost units per category."""
+
+    seq_read: float = 0.0
+    rand_read: float = 0.0
+    write: float = 0.0
+    cpu: float = 0.0
+    stats_cpu: float = 0.0
+    optimizer: float = 0.0
+
+    @property
+    def io(self) -> float:
+        """Total I/O cost (reads plus writes)."""
+        return self.seq_read + self.rand_read + self.write
+
+    @property
+    def total(self) -> float:
+        """Total cost across all categories."""
+        return self.io + self.cpu + self.stats_cpu + self.optimizer
+
+    def snapshot(self) -> "CostBreakdown":
+        """Return an independent copy of the current totals."""
+        return CostBreakdown(
+            seq_read=self.seq_read,
+            rand_read=self.rand_read,
+            write=self.write,
+            cpu=self.cpu,
+            stats_cpu=self.stats_cpu,
+            optimizer=self.optimizer,
+        )
+
+    def minus(self, earlier: "CostBreakdown") -> "CostBreakdown":
+        """Return the category-wise difference ``self - earlier``."""
+        return CostBreakdown(
+            seq_read=self.seq_read - earlier.seq_read,
+            rand_read=self.rand_read - earlier.rand_read,
+            write=self.write - earlier.write,
+            cpu=self.cpu - earlier.cpu,
+            stats_cpu=self.stats_cpu - earlier.stats_cpu,
+            optimizer=self.optimizer - earlier.optimizer,
+        )
+
+
+@dataclass
+class CostClock:
+    """Deterministic execution clock charged by the storage and executor layers."""
+
+    params: CostParameters = field(default_factory=CostParameters)
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in cost units."""
+        return self.breakdown.total
+
+    def charge_seq_read(self, pages: float) -> None:
+        """Charge ``pages`` sequential page reads."""
+        self.breakdown.seq_read += pages * self.params.seq_page_read
+
+    def charge_rand_read(self, pages: float) -> None:
+        """Charge ``pages`` random page reads."""
+        self.breakdown.rand_read += pages * self.params.rand_page_read
+
+    def charge_write(self, pages: float) -> None:
+        """Charge ``pages`` page writes."""
+        self.breakdown.write += pages * self.params.page_write
+
+    def charge_cpu(self, units: float) -> None:
+        """Charge raw CPU cost units."""
+        self.breakdown.cpu += units
+
+    def charge_tuples(self, count: float) -> None:
+        """Charge per-tuple CPU for ``count`` tuples passing an operator."""
+        self.breakdown.cpu += count * self.params.cpu_per_tuple
+
+    def charge_stats_cpu(self, units: float) -> None:
+        """Charge CPU spent inside statistics collectors."""
+        self.breakdown.stats_cpu += units
+
+    def charge_optimizer(self, units: float) -> None:
+        """Charge time spent (re-)optimizing, in cost units."""
+        self.breakdown.optimizer += units
+
+    def elapsed_since(self, start: float) -> float:
+        """Cost units elapsed since a previously captured ``now`` value."""
+        return self.now - start

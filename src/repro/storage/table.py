@@ -1,0 +1,92 @@
+"""Heap tables.
+
+A :class:`Table` is a named, schema-ed, paged container of row tuples.  It is
+deliberately *passive*: it knows its page geometry (how many simulated pages
+it occupies, which page a row lives on) but does not charge the cost clock —
+the executor's scan iterators do that, routing page requests through the
+buffer pool.  This keeps the cost accounting in one layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import StorageError
+from .schema import Schema
+
+Row = tuple
+
+_table_ids = itertools.count(1)
+
+
+class Table:
+    """A heap table: an append-only list of rows plus page geometry."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        page_size: int,
+        rows: Iterable[Row] | None = None,
+        is_temporary: bool = False,
+    ) -> None:
+        self.table_id = next(_table_ids)
+        self.name = name
+        self.schema = schema
+        self.page_size = page_size
+        self.is_temporary = is_temporary
+        self.rows: list[Row] = []
+        if rows is not None:
+            self.append_rows(rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.row_count}, pages={self.page_count})"
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows stored."""
+        return len(self.rows)
+
+    @property
+    def rows_per_page(self) -> int:
+        """Rows per simulated page for this table's schema."""
+        return self.schema.rows_per_page(self.page_size)
+
+    @property
+    def page_count(self) -> int:
+        """Number of simulated pages the table occupies."""
+        return self.schema.page_count(self.row_count, self.page_size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Estimated stored size in bytes."""
+        return self.row_count * self.schema.row_bytes
+
+    def page_of_row(self, row_index: int) -> int:
+        """Page number holding the row at ``row_index``."""
+        return row_index // self.rows_per_page
+
+    def append_rows(self, rows: Iterable[Row]) -> int:
+        """Bulk-append rows after validating their arity; returns count added."""
+        width = len(self.schema)
+        added = 0
+        for row in rows:
+            if len(row) != width:
+                raise StorageError(
+                    f"row arity {len(row)} does not match schema width {width} "
+                    f"for table {self.name!r}"
+                )
+            self.rows.append(tuple(row))
+            added += 1
+        return added
+
+    def iter_pages(self) -> Iterator[Sequence[Row]]:
+        """Yield rows grouped by page, in storage order."""
+        per_page = self.rows_per_page
+        for start in range(0, self.row_count, per_page):
+            yield self.rows[start : start + per_page]
+
+    def truncate(self) -> None:
+        """Remove all rows (used by temp-table recycling)."""
+        self.rows.clear()

@@ -1,0 +1,5 @@
+"""Workloads: the paper's running example and the TPC-D-style benchmark."""
+
+from .synthetic import RUNNING_EXAMPLE_SQL, SyntheticConfig, build_running_example
+
+__all__ = ["RUNNING_EXAMPLE_SQL", "SyntheticConfig", "build_running_example"]

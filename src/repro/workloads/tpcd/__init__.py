@@ -1,0 +1,27 @@
+"""TPC-D-style workload: schema, data generator, and the paper's queries."""
+
+from .datagen import CatalogProfile, TpcdConfig, generate_tpcd
+from .queries import (
+    ALL_QUERIES,
+    COMPLEX_QUERIES,
+    MEDIUM_QUERIES,
+    SIMPLE_QUERIES,
+    TpcdQuery,
+    query_by_name,
+)
+from .schema import TPCD_KEYS, TPCD_SCHEMAS, rows_for
+
+__all__ = [
+    "ALL_QUERIES",
+    "COMPLEX_QUERIES",
+    "CatalogProfile",
+    "MEDIUM_QUERIES",
+    "SIMPLE_QUERIES",
+    "TPCD_KEYS",
+    "TPCD_SCHEMAS",
+    "TpcdConfig",
+    "TpcdQuery",
+    "generate_tpcd",
+    "query_by_name",
+    "rows_for",
+]

@@ -1,0 +1,169 @@
+"""TPC-D schema (the columns the paper's query set touches).
+
+Table ratios follow the TPC-D specification [21]: per scale factor (SF) 1 —
+150 000 customers, 1 500 000 orders, ~6 000 000 lineitems, 10 000 suppliers,
+200 000 parts, 800 000 partsupps, 25 nations, 5 regions.  The paper ran at
+SF 3; this reproduction defaults to small SFs (0.01–0.05) with the same
+ratios, which preserves join selectivities and therefore plan behaviour.
+
+Dates are stored as integer ordinals (see
+:func:`repro.storage.schema.date_to_int`); the generator draws order dates
+from 1992-01-01 to 1998-08-02 and ship dates 1–121 days after the order
+date, exactly like dbgen — which is what makes order-date/ship-date
+predicates *correlated across tables*, a natural estimation-error source.
+"""
+
+from __future__ import annotations
+
+from ...storage.schema import Column, DataType, Schema, date_to_int
+
+#: Rows per table at scale factor 1.0.
+ROWS_AT_SF1 = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,  # approximate: 1-7 lineitems per order
+}
+
+START_DATE = date_to_int("1992-01-01")
+END_DATE = date_to_int("1998-08-02")
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["F", "O"]
+PART_TYPES = [
+    "ECONOMY ANODIZED STEEL", "ECONOMY BRUSHED COPPER", "LARGE BURNISHED BRASS",
+    "MEDIUM POLISHED NICKEL", "PROMO PLATED TIN", "SMALL PLATED COPPER",
+    "STANDARD POLISHED BRASS",
+]
+
+
+def _schema(columns: list[tuple[str, DataType]]) -> Schema:
+    return Schema(Column(name, dtype) for name, dtype in columns)
+
+
+TPCD_SCHEMAS: dict[str, Schema] = {
+    "region": _schema(
+        [
+            ("r_regionkey", DataType.INTEGER),
+            ("r_name", DataType.STRING),
+        ]
+    ),
+    "nation": _schema(
+        [
+            ("n_nationkey", DataType.INTEGER),
+            ("n_name", DataType.STRING),
+            ("n_regionkey", DataType.INTEGER),
+        ]
+    ),
+    "supplier": _schema(
+        [
+            ("s_suppkey", DataType.INTEGER),
+            ("s_name", DataType.STRING),
+            ("s_nationkey", DataType.INTEGER),
+            ("s_acctbal", DataType.FLOAT),
+        ]
+    ),
+    "customer": _schema(
+        [
+            ("c_custkey", DataType.INTEGER),
+            ("c_name", DataType.STRING),
+            ("c_nationkey", DataType.INTEGER),
+            ("c_acctbal", DataType.FLOAT),
+            ("c_mktsegment", DataType.STRING),
+        ]
+    ),
+    "part": _schema(
+        [
+            ("p_partkey", DataType.INTEGER),
+            ("p_name", DataType.STRING),
+            ("p_type", DataType.STRING),
+            ("p_size", DataType.INTEGER),
+            ("p_retailprice", DataType.FLOAT),
+        ]
+    ),
+    "partsupp": _schema(
+        [
+            ("ps_partkey", DataType.INTEGER),
+            ("ps_suppkey", DataType.INTEGER),
+            ("ps_availqty", DataType.INTEGER),
+            ("ps_supplycost", DataType.FLOAT),
+        ]
+    ),
+    "orders": _schema(
+        [
+            ("o_orderkey", DataType.INTEGER),
+            ("o_custkey", DataType.INTEGER),
+            ("o_orderstatus", DataType.STRING),
+            ("o_totalprice", DataType.FLOAT),
+            ("o_orderdate", DataType.DATE),
+            ("o_orderpriority", DataType.STRING),
+            ("o_shippriority", DataType.INTEGER),
+        ]
+    ),
+    "lineitem": _schema(
+        [
+            ("l_orderkey", DataType.INTEGER),
+            ("l_partkey", DataType.INTEGER),
+            ("l_suppkey", DataType.INTEGER),
+            ("l_linenumber", DataType.INTEGER),
+            ("l_quantity", DataType.FLOAT),
+            ("l_extendedprice", DataType.FLOAT),
+            ("l_discount", DataType.FLOAT),
+            ("l_tax", DataType.FLOAT),
+            ("l_returnflag", DataType.STRING),
+            ("l_linestatus", DataType.STRING),
+            ("l_shipdate", DataType.DATE),
+            ("l_commitdate", DataType.DATE),
+            ("l_receiptdate", DataType.DATE),
+            ("l_shipmode", DataType.STRING),
+        ]
+    ),
+}
+
+#: Primary-key columns per table (used by the inaccuracy-potential rules).
+TPCD_KEYS: dict[str, tuple[str, ...]] = {
+    "region": ("r_regionkey",),
+    "nation": ("n_nationkey",),
+    "supplier": ("s_suppkey",),
+    "customer": ("c_custkey",),
+    "part": ("p_partkey",),
+    "partsupp": (),
+    "orders": ("o_orderkey",),
+    "lineitem": (),
+}
+
+#: Indexes built by default: primary keys plus the foreign keys the paper's
+#: query plans probe with indexed nested-loops joins.
+TPCD_INDEXES: list[tuple[str, str, str, bool]] = [
+    ("idx_region_pk", "region", "r_regionkey", True),
+    ("idx_nation_pk", "nation", "n_nationkey", True),
+    ("idx_supplier_pk", "supplier", "s_suppkey", True),
+    ("idx_customer_pk", "customer", "c_custkey", True),
+    ("idx_part_pk", "part", "p_partkey", True),
+    ("idx_orders_pk", "orders", "o_orderkey", True),
+    ("idx_lineitem_orderkey", "lineitem", "l_orderkey", True),
+]
+
+
+def rows_for(table: str, scale_factor: float) -> int:
+    """Row count for a table at the given scale factor (min 1)."""
+    return max(1, round(ROWS_AT_SF1[table] * scale_factor))

@@ -1,0 +1,92 @@
+"""Tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    build_database,
+    comparison_table,
+    render_table,
+    rows_equivalent,
+    run_comparison,
+    run_experiment,
+)
+from repro.core.modes import DynamicMode
+from repro.workloads.tpcd import CatalogProfile, query_by_name
+
+
+class TestRowsEquivalent:
+    def test_identical(self):
+        assert rows_equivalent([(1, "a")], [(1, "a")])
+
+    def test_order_insensitive(self):
+        assert rows_equivalent([(1,), (2,)], [(2,), (1,)])
+
+    def test_float_tolerance(self):
+        assert rows_equivalent([(0.1 + 0.2,)], [(0.3,)])
+
+    def test_length_mismatch(self):
+        assert not rows_equivalent([(1,)], [(1,), (2,)])
+
+    def test_value_mismatch(self):
+        assert not rows_equivalent([(1,)], [(2,)])
+
+    def test_arity_mismatch(self):
+        assert not rows_equivalent([(1,)], [(1, 2)])
+
+
+class TestExperimentConfig:
+    def test_engine_config_carries_memory(self):
+        config = ExperimentConfig(memory_pages=64)
+        assert config.engine_config().query_memory_pages == 64
+
+    def test_tpcd_config_carries_skew(self):
+        config = ExperimentConfig(zipf_z=0.6, catalog=CatalogProfile.STALE)
+        tpcd = config.tpcd_config()
+        assert tpcd.zipf_z == 0.6
+        assert tpcd.catalog is CatalogProfile.STALE
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_database(ExperimentConfig(scale_factor=0.002))
+
+    def test_run_comparison(self, db):
+        comp = run_comparison(
+            db, query_by_name("Q3"), (DynamicMode.OFF, DynamicMode.FULL)
+        )
+        assert comp.row_sets_match
+        assert comp.normalized(DynamicMode.OFF) == pytest.approx(100.0)
+        assert comp.cost(DynamicMode.FULL) > 0
+        assert comp.improvement_pct(DynamicMode.OFF) == pytest.approx(0.0)
+
+    def test_run_experiment_covers_queries(self):
+        comps = run_experiment(
+            ExperimentConfig(scale_factor=0.002),
+            queries=(query_by_name("Q1"), query_by_name("Q6")),
+            modes=(DynamicMode.OFF, DynamicMode.FULL),
+        )
+        assert [c.query.name for c in comps] == ["Q1", "Q6"]
+
+    def test_comparison_table_rendering(self, db):
+        comp = run_comparison(
+            db, query_by_name("Q6"), (DynamicMode.OFF, DynamicMode.FULL)
+        )
+        table = comparison_table([comp], [DynamicMode.OFF, DynamicMode.FULL],
+                                 title="demo")
+        assert "demo" in table
+        assert "Q6" in table
+        assert "100.0" in table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["col", "x"], [["a", "1"], ["bbbb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2  # consistent widths
+
+    def test_empty_rows(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text

@@ -1,0 +1,85 @@
+"""End-to-end test of the paper's section 2.4 calibration procedure.
+
+Builds star-join schemas of increasing size, times real optimizer runs on
+star queries, fits the calibration unit, and checks the fitted model orders
+optimization costs the way the measurements do.
+"""
+
+import random
+
+import pytest
+
+from repro import Database, DataType
+from repro.core.modes import DynamicMode
+from repro.optimizer.calibration import (
+    OptimizerCalibration,
+    calibrate_unit,
+    measure_star_join_times,
+)
+
+
+def build_star_db(max_dimensions: int = 5) -> Database:
+    """A fact table joined to N dimension tables (a star-join schema)."""
+    db = Database()
+    rng = random.Random(2)
+    fact_columns = [("fact_id", DataType.INTEGER)]
+    fact_columns += [(f"dim{i}_id", DataType.INTEGER) for i in range(max_dimensions)]
+    db.create_table("fact", fact_columns, key=["fact_id"])
+    db.load_rows(
+        "fact",
+        [
+            tuple([i] + [rng.randrange(100) for __ in range(max_dimensions)])
+            for i in range(2000)
+        ],
+    )
+    for i in range(max_dimensions):
+        db.create_table(
+            f"dim{i}", [("id", DataType.INTEGER), ("attr", DataType.INTEGER)],
+            key=["id"],
+        )
+        db.load_rows(f"dim{i}", [(k, rng.randrange(50)) for k in range(100)])
+    db.analyze()
+    return db
+
+
+def star_sql(dimensions: int) -> str:
+    tables = ["fact"] + [f"dim{i}" for i in range(dimensions)]
+    joins = " AND ".join(f"fact.dim{i}_id = dim{i}.id" for i in range(dimensions))
+    return f"SELECT fact.fact_id one FROM {', '.join(tables)} WHERE {joins}"
+
+
+class TestStarJoinCalibration:
+    def test_procedure_produces_usable_calibration(self):
+        db = build_star_db()
+
+        def optimize(n: int) -> None:
+            # n relations total = fact + (n - 1) dimensions.
+            db.plan(star_sql(n - 1), mode=DynamicMode.OFF)
+
+        measurements = measure_star_join_times(
+            optimize, relation_counts=(2, 3, 4), repetitions=1
+        )
+        assert [n for n, __ in measurements] == [2, 3, 4]
+        assert all(seconds > 0 for __, seconds in measurements)
+        calibration = calibrate_unit(measurements, cost_units_per_second=2000.0)
+        assert calibration.unit > 0
+        # The fitted model preserves the ordering the paper relies on:
+        # bigger queries cost more to optimize.
+        assert calibration.estimated_units(4) > calibration.estimated_units(2)
+
+    def test_measured_times_grow_with_query_size(self):
+        db = build_star_db()
+
+        def optimize(n: int) -> None:
+            db.plan(star_sql(n - 1), mode=DynamicMode.OFF)
+
+        measurements = dict(
+            measure_star_join_times(optimize, relation_counts=(2, 5), repetitions=3)
+        )
+        # A 5-relation star takes measurably longer to optimize than a
+        # 2-relation one (DP enumerates exponentially more subplans).
+        assert measurements[5] > measurements[2]
+
+    def test_default_calibration_is_stable(self):
+        cal = OptimizerCalibration()
+        assert cal.estimated_units(3) == pytest.approx(cal.estimated_units(3))

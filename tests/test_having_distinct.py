@@ -1,0 +1,144 @@
+"""Tests for HAVING and SELECT DISTINCT."""
+
+import pytest
+
+from repro import DynamicMode
+from repro.errors import BindError
+from repro.plans.physical import DistinctNode, FilterNode, HashAggregateNode
+from repro.sql import deparse
+
+from .conftest import make_two_table_db
+from .oracle import evaluate
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_two_table_db(r1_rows=400, r2_rows=900)
+
+
+def run_both(db, sql):
+    result = db.execute(sql, mode=DynamicMode.OFF)
+    expected = evaluate(db, db.bind_sql(sql))
+    return result.rows, expected
+
+
+def same(a, b):
+    assert sorted(map(repr, a)) == sorted(map(repr, b))
+
+
+class TestHaving:
+    def test_having_on_aggregate(self, db):
+        sql = "SELECT a, count(*) n FROM r1 GROUP BY a HAVING count(*) > 3"
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+        assert all(row[1] > 3 for row in actual)
+
+    def test_having_on_alias(self, db):
+        sql = "SELECT a, sum(b) total FROM r1 GROUP BY a HAVING total >= 100"
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+
+    def test_having_on_group_column(self, db):
+        sql = "SELECT a, count(*) n FROM r1 GROUP BY a HAVING a < 10"
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+        assert all(row[0] < 10 for row in actual)
+
+    def test_having_compound_condition(self, db):
+        sql = (
+            "SELECT a, count(*) n, avg(b) m FROM r1 GROUP BY a "
+            "HAVING count(*) > 2 AND avg(b) BETWEEN 10 AND 40"
+        )
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+
+    def test_having_with_joins_and_order(self, db):
+        sql = (
+            "SELECT r1.a, sum(r2.c) s FROM r1, r2 WHERE r1.id = r2.r1_id "
+            "GROUP BY r1.a HAVING sum(r2.c) > 50 ORDER BY s DESC LIMIT 5"
+        )
+        result = db.execute(sql, mode=DynamicMode.OFF)
+        expected = evaluate(db, db.bind_sql(sql))
+        assert result.rows == expected
+
+    def test_having_plan_shape(self, db):
+        plan, __, __o = db.plan(
+            "SELECT a, count(*) n FROM r1 GROUP BY a HAVING count(*) > 3",
+            mode=DynamicMode.OFF,
+        )
+        # A filter over the aggregate's output.
+        filters = [
+            n for n in plan.walk()
+            if isinstance(n, FilterNode)
+            and isinstance(n.child, HashAggregateNode)
+        ]
+        assert filters
+
+    def test_having_requires_grouping(self, db):
+        with pytest.raises(BindError):
+            db.bind_sql("SELECT a FROM r1 HAVING a > 1")
+
+    def test_having_aggregate_must_be_selected(self, db):
+        with pytest.raises(BindError):
+            db.bind_sql("SELECT a, count(*) n FROM r1 GROUP BY a HAVING sum(b) > 5")
+
+    def test_having_unknown_column(self, db):
+        with pytest.raises(BindError):
+            db.bind_sql("SELECT a, count(*) n FROM r1 GROUP BY a HAVING missing > 5")
+
+    def test_having_deparse_round_trip(self, db):
+        sql = "SELECT a, count(*) n FROM r1 GROUP BY a HAVING n > 3 AND a < 50"
+        text1 = deparse(db.bind_sql(sql))
+        assert "HAVING" in text1
+        text2 = deparse(db.bind_sql(text1))
+        assert text1 == text2
+
+    def test_having_modes_agree(self, db):
+        sql = (
+            "SELECT r1.a, sum(r2.c) s FROM r1, r2 WHERE r1.id = r2.r1_id "
+            "GROUP BY r1.a HAVING sum(r2.c) > 40"
+        )
+        off = db.execute(sql, mode=DynamicMode.OFF)
+        full = db.execute(sql, mode=DynamicMode.FULL)
+        same(off.rows, full.rows)
+
+
+class TestDistinct:
+    def test_distinct_removes_duplicates(self, db):
+        sql = "SELECT DISTINCT a FROM r1"
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+        assert len(actual) == len(set(actual))
+
+    def test_distinct_multi_column(self, db):
+        sql = "SELECT DISTINCT r1.a, r2.c FROM r1, r2 WHERE r1.id = r2.r1_id"
+        actual, expected = run_both(db, sql)
+        same(actual, expected)
+
+    def test_distinct_plan_shape(self, db):
+        plan, __, __o = db.plan("SELECT DISTINCT a FROM r1", mode=DynamicMode.OFF)
+        assert any(isinstance(n, DistinctNode) for n in plan.walk())
+
+    def test_distinct_estimates_cardinality(self, db):
+        plan, __, __o = db.plan("SELECT DISTINCT a FROM r1", mode=DynamicMode.OFF)
+        node = next(n for n in plan.walk() if isinstance(n, DistinctNode))
+        # ~100 distinct values of a, far below the 400 input rows.
+        assert node.est.rows < node.child.est.rows
+
+    def test_distinct_with_order_and_limit(self, db):
+        sql = "SELECT DISTINCT a FROM r1 ORDER BY a LIMIT 5"
+        result = db.execute(sql, mode=DynamicMode.OFF)
+        values = [row[0] for row in result.rows]
+        assert values == sorted(set(values))[:5]
+
+    def test_distinct_deparse_round_trip(self, db):
+        sql = "SELECT DISTINCT a, b FROM r1 WHERE a < 10"
+        text1 = deparse(db.bind_sql(sql))
+        assert text1.startswith("SELECT DISTINCT")
+        assert deparse(db.bind_sql(text1)) == text1
+
+    def test_distinct_modes_agree(self, db):
+        sql = "SELECT DISTINCT r1.a FROM r1, r2 WHERE r1.id = r2.r1_id"
+        off = db.execute(sql, mode=DynamicMode.OFF)
+        full = db.execute(sql, mode=DynamicMode.FULL)
+        same(off.rows, full.rows)

@@ -1,0 +1,124 @@
+"""Unit tests for improved-estimate propagation and remaining-cost math."""
+
+import pytest
+
+from repro import Database, DynamicMode
+from repro.core.improve import (
+    apply_improved_estimates,
+    blocking_consumer,
+    hash_join_probe_remaining,
+    observed_profiles,
+    parent_of,
+    remaining_cost,
+)
+from repro.executor.collector import ObservedStatistics
+from repro.executor.runtime import RuntimeContext
+from repro.optimizer.cost_model import CostModel
+from repro.plans.physical import HashJoinNode, StatsCollectorNode
+from repro.plans.printer import collector_nodes
+from repro.storage import BufferPool, CostClock, TempTableManager
+
+from .conftest import make_two_table_db
+
+SQL = (
+    "SELECT r1.a, sum(r2.c) s FROM r1, r2 "
+    "WHERE r1.id = r2.r1_id AND r1.a < 50 GROUP BY r1.a"
+)
+
+
+def make_ctx(db):
+    clock = CostClock(db.config.cost)
+    pool = BufferPool(db.config.buffer_pool_pages, clock)
+    return RuntimeContext(
+        catalog=db.catalog,
+        config=db.config,
+        clock=clock,
+        buffer_pool=pool,
+        temp_manager=TempTableManager(db.catalog, pool),
+        cost_model=CostModel(db.config),
+    )
+
+
+@pytest.fixture
+def setup():
+    db = make_two_table_db(r1_rows=5000, r2_rows=20_000)
+    plan, scia, optimizer = db.plan(SQL, mode=DynamicMode.FULL)
+    ctx = make_ctx(db)
+    return db, plan, optimizer, ctx
+
+
+class TestTreeHelpers:
+    def test_parent_of(self, setup):
+        __, plan, __o, __c = setup
+        for node in plan.walk():
+            for child in node.children:
+                assert parent_of(plan, child.node_id) is node
+        assert parent_of(plan, plan.node_id) is None
+
+    def test_blocking_consumer_is_collector_parent(self, setup):
+        __, plan, __o, __c = setup
+        collectors = collector_nodes(plan)
+        assert collectors
+        for collector in collectors:
+            consumer = blocking_consumer(plan, collector.node_id)
+            assert consumer is not None and consumer.is_blocking
+
+
+class TestImprovedEstimates:
+    def test_observed_profiles_only_for_seen_collectors(self, setup):
+        __, plan, __o, ctx = setup
+        assert observed_profiles(plan, ctx.observed) == {}
+        collector = collector_nodes(plan)[0]
+        ctx.observed[collector.node_id] = ObservedStatistics(
+            node_id=collector.node_id, row_count=123, row_bytes=20.0
+        )
+        overrides = observed_profiles(plan, ctx.observed)
+        assert set(overrides) == {collector.node_id}
+        assert overrides[collector.node_id].rows == 123
+
+    def test_apply_improved_estimates_changes_downstream(self, setup):
+        __, plan, optimizer, ctx = setup
+        optimizer.annotator().annotate(plan)
+        before_total = plan.est.total_cost
+        collector = collector_nodes(plan)[0]
+        # Pretend the collector saw 10x the estimated rows.
+        ctx.observed[collector.node_id] = ObservedStatistics(
+            node_id=collector.node_id,
+            row_count=int(collector.est.rows * 10) + 1,
+            row_bytes=collector.est.row_bytes,
+        )
+        apply_improved_estimates(plan, optimizer, ctx)
+        assert plan.est.total_cost > before_total
+
+    def test_remaining_cost_excludes_completed(self, setup):
+        __, plan, optimizer, ctx = setup
+        optimizer.annotator().annotate(plan)
+        full = remaining_cost(plan, ctx, optimizer.cost_model)
+        assert full == pytest.approx(
+            sum(n.est.op_cost for n in plan.walk())
+        )
+        # Mark the deepest subtree completed: remaining shrinks accordingly.
+        some_leaf = [n for n in plan.walk() if not n.children][0]
+        ctx.completed.add(some_leaf.node_id)
+        reduced = remaining_cost(plan, ctx, optimizer.cost_model)
+        assert reduced == pytest.approx(full - some_leaf.est.op_cost)
+
+    def test_remaining_cost_in_flight_join_owes_probe_only(self, setup):
+        __, plan, optimizer, ctx = setup
+        optimizer.annotator().annotate(plan)
+        join = next(n for n in plan.walk() if isinstance(n, HashJoinNode))
+        full = remaining_cost(plan, ctx, optimizer.cost_model)
+        with_in_flight = remaining_cost(
+            plan, ctx, optimizer.cost_model, in_flight=join
+        )
+        assert with_in_flight <= full
+
+    def test_probe_remaining_positive(self, setup):
+        db, plan, optimizer, ctx = setup
+        optimizer.annotator().annotate(plan)
+        join = next(n for n in plan.walk() if isinstance(n, HashJoinNode))
+        probe_cost = hash_join_probe_remaining(
+            join, optimizer.cost_model, db.catalog.page_size,
+            grant=join.est.max_memory_pages,
+        )
+        assert 0 < probe_cost <= join.est.op_cost + 1e-9

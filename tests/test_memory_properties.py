@@ -1,0 +1,99 @@
+"""Property-based tests for the Memory Manager's allocation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.executor.memory import MemoryManager
+from repro.plans.physical import PlanNode, SeqScanNode
+from repro.storage import Column, DataType, Schema
+
+
+def _chain_plan(demands: list[tuple[int, int]]) -> PlanNode:
+    """A synthetic operator chain whose nodes carry the given demands."""
+    schema = Schema([Column("x", DataType.INTEGER)])
+    node: PlanNode = SeqScanNode("t", "t", schema)
+    for minimum, maximum in demands:
+        parent = SeqScanNode("t", "t", schema)  # structure only
+        parent.children = (node,)
+        parent.est.min_memory_pages = minimum
+        parent.est.max_memory_pages = maximum
+        node = parent
+    return node
+
+
+demand_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=200),
+    ).map(lambda t: (t[0], t[0] + t[1])),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAllocationProperties:
+    @given(demands=demand_strategy, slack=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=120, deadline=None)
+    def test_grants_respect_budget_and_bounds(self, demands, slack):
+        plan = _chain_plan(demands)
+        budget = sum(minimum for minimum, __ in demands) + slack
+        allocation = MemoryManager(budget).allocate(plan)
+        assert sum(allocation.values()) <= budget
+        by_id = {
+            node.node_id: (node.est.min_memory_pages, node.est.max_memory_pages)
+            for node in plan.walk()
+            if node.est.max_memory_pages > 0
+        }
+        for node_id, grant in allocation.items():
+            minimum, maximum = by_id[node_id]
+            # Max-or-min semantics: a grant is exactly one of the two bounds.
+            assert grant in (minimum, maximum)
+
+    @given(demands=demand_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_ample_budget_grants_all_maxima(self, demands):
+        plan = _chain_plan(demands)
+        budget = sum(maximum for __, maximum in demands) + 1
+        allocation = MemoryManager(budget).allocate(plan)
+        for node in plan.walk():
+            if node.est.max_memory_pages > 0:
+                assert allocation[node.node_id] == node.est.max_memory_pages
+
+    @given(demands=demand_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_minimum_budget_grants_all_minima(self, demands):
+        plan = _chain_plan(demands)
+        budget = sum(minimum for minimum, __ in demands)
+        allocation = MemoryManager(budget).allocate(plan)
+        assert sum(allocation.values()) == budget
+
+    @given(
+        demands=demand_strategy,
+        slack=st.integers(min_value=0, max_value=300),
+        floor_bump=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_floors_never_undercut(self, demands, slack, floor_bump):
+        plan = _chain_plan(demands)
+        nodes = [n for n in plan.walk() if n.est.max_memory_pages > 0]
+        target = nodes[0]
+        floor = target.est.min_memory_pages + floor_bump
+        budget = (
+            sum(n.est.min_memory_pages for n in nodes) + floor_bump + slack
+        )
+        allocation = MemoryManager(budget).allocate(
+            plan, floors={target.node_id: floor}
+        )
+        assert allocation[target.node_id] >= floor
+        assert sum(allocation.values()) <= budget
+
+    @given(demands=demand_strategy, slack=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_grants_pass_through(self, demands, slack):
+        plan = _chain_plan(demands)
+        nodes = [n for n in plan.walk() if n.est.max_memory_pages > 0]
+        pinned = nodes[-1]
+        budget = sum(n.est.min_memory_pages for n in nodes) + slack + 7
+        allocation = MemoryManager(budget).allocate(
+            plan, fixed={pinned.node_id: 7}
+        )
+        assert allocation[pinned.node_id] == 7

@@ -1,0 +1,132 @@
+"""Edge-case coverage: result rendering, profiles, segments, reporting."""
+
+import pytest
+
+from repro import Database, DataType, DynamicMode
+from repro.bench import comparison_table, run_comparison
+from repro.bench.harness import QueryComparison
+from repro.core.modes import DynamicMode as DM
+from repro.executor.segments import Segment, segment_of, segments
+from repro.plans.printer import explain
+
+from .conftest import make_two_table_db
+
+
+class TestResultRendering:
+    def test_format_table_truncates(self, two_table_db):
+        result = two_table_db.execute("SELECT a, b FROM r1", mode=DynamicMode.OFF)
+        rendered = result.format_table(limit=3)
+        assert "rows total" in rendered
+        assert rendered.count("\n") <= 6
+
+    def test_format_table_empty_result(self, two_table_db):
+        result = two_table_db.execute(
+            "SELECT a FROM r1 WHERE a > 100000", mode=DynamicMode.OFF
+        )
+        rendered = result.format_table()
+        assert "a" in rendered  # header survives
+
+    def test_format_table_float_formatting(self, two_table_db):
+        result = two_table_db.execute(
+            "SELECT avg(b) m FROM r1", mode=DynamicMode.OFF
+        )
+        rendered = result.format_table()
+        # Floats are shortened to 4 significant digits.
+        assert len(rendered.splitlines()[2].strip()) <= 12
+
+    def test_iteration_protocol(self, two_table_db):
+        result = two_table_db.execute(
+            "SELECT a FROM r1 LIMIT 4", mode=DynamicMode.OFF
+        )
+        assert len(list(iter(result))) == 4
+
+
+class TestProfileRendering:
+    def test_summary_includes_events(self):
+        from repro.workloads.synthetic import (
+            RUNNING_EXAMPLE_SQL,
+            SyntheticConfig,
+            build_running_example,
+        )
+
+        db = Database()
+        build_running_example(
+            db, SyntheticConfig(rel1_rows=8000, rel2_rows=2000, rel3_rows=20_000)
+        )
+        result = db.execute(
+            RUNNING_EXAMPLE_SQL, params={"value1": 80, "value2": 80},
+            mode=DynamicMode.FULL,
+        )
+        summary = result.profile.summary()
+        assert "mode=full" in summary
+        if result.profile.events:
+            assert "event:" in summary
+
+    def test_parametric_fields_default_empty(self, two_table_db):
+        result = two_table_db.execute("SELECT a FROM r1", mode=DynamicMode.OFF)
+        assert result.profile.parametric_plan_count == 0
+        assert result.profile.parametric_choice == ""
+
+    def test_buffer_stats_recorded(self, two_table_db):
+        result = two_table_db.execute("SELECT a FROM r1", mode=DynamicMode.OFF)
+        assert result.profile.buffer.accesses > 0
+
+
+class TestExplainAllNodes:
+    def test_explain_covers_every_operator(self):
+        db = make_two_table_db(r1_rows=2000, r2_rows=5000)
+        db.create_index("ix_a", "r1", "a", clustered=True)
+        queries = [
+            "SELECT DISTINCT a FROM r1",
+            "SELECT a, count(*) n FROM r1 GROUP BY a HAVING count(*) > 1 "
+            "ORDER BY n DESC LIMIT 3",
+            "SELECT r1.a one FROM r1, r2 WHERE r1.id = r2.r1_id",
+            "SELECT r1.a one, r2.c two FROM r1, r2",
+            "SELECT id one FROM r1 WHERE a = 5",
+        ]
+        seen = set()
+        for sql in queries:
+            plan, __, __o = db.plan(sql, mode=DynamicMode.FULL)
+            text = explain(plan)
+            assert text
+            for node in plan.walk():
+                seen.add(node.label)
+        assert {"Distinct", "HashAggregate", "Sort", "Limit", "Filter",
+                "SeqScan", "Project"} <= seen
+
+    def test_explain_without_estimates(self, two_table_db):
+        plan, __, __o = two_table_db.plan("SELECT a FROM r1", mode=DynamicMode.OFF)
+        text = explain(plan, show_estimates=False)
+        assert "rows=" not in text
+
+
+class TestSegmentsApi:
+    def test_segment_top_and_lookup(self, two_table_db):
+        plan, __, __o = two_table_db.plan(
+            "SELECT r1.a, sum(r2.c) s FROM r1, r2 WHERE r1.id = r2.r1_id "
+            "GROUP BY r1.a",
+            mode=DynamicMode.OFF,
+        )
+        segs = segments(plan)
+        # The last segment in completion order contains the root.
+        assert segs[-1].top is plan
+        for node in plan.walk():
+            found = segment_of(plan, node.node_id)
+            assert found is not None and node.node_id in found.node_ids
+        assert segment_of(plan, -42) is None
+
+
+class TestReportingWithoutFullMode:
+    def test_comparison_table_memory_only(self):
+        db = make_two_table_db()
+        from repro.workloads.tpcd.queries import TpcdQuery
+
+        query = TpcdQuery(
+            name="QX", category="medium", join_count=1,
+            sql="SELECT r1.a, sum(r2.c) s FROM r1, r2 WHERE r1.id = r2.r1_id "
+                "GROUP BY r1.a",
+        )
+        comp = run_comparison(db, query, (DM.OFF, DM.MEMORY_ONLY))
+        table = comparison_table([comp], [DM.OFF, DM.MEMORY_ONLY])
+        assert "QX" in table
+        assert "memory-only" in table

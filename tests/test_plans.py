@@ -1,0 +1,259 @@
+"""Tests for logical expressions/predicates, physical nodes, rewrite, printer."""
+
+import pytest
+
+from repro.errors import BindError, ReproError
+from repro.plans.logical import (
+    AggFunc,
+    AggregateExpr,
+    AndPredicate,
+    ArithExpr,
+    ColumnExpr,
+    CompareOp,
+    Comparison,
+    ConstExpr,
+    FuncExpr,
+    InPredicate,
+    NegExpr,
+    NotPredicate,
+    OrPredicate,
+    OutputColumn,
+    infer_dtype,
+    output_schema,
+    qualifier_of,
+)
+from repro.plans.physical import (
+    CollectorSpec,
+    FilterNode,
+    HashJoinNode,
+    SeqScanNode,
+    StatsCollectorNode,
+)
+from repro.plans.printer import collector_nodes, explain
+from repro.plans.rewrite import rename_output, rename_predicate, rename_scalar
+from repro.storage import Column, DataType, Schema
+
+
+def schema_ab(alias="t"):
+    return Schema(
+        [Column("a", DataType.INTEGER), Column("b", DataType.FLOAT)]
+    ).qualify(alias)
+
+
+class TestScalarExpressions:
+    def test_column_compile(self):
+        schema = schema_ab()
+        fn = ColumnExpr("t.a").compile(schema)
+        assert fn((7, 1.0)) == 7
+
+    def test_const_compile(self):
+        fn = ConstExpr(42).compile(schema_ab())
+        assert fn((0, 0.0)) == 42
+
+    def test_arithmetic(self):
+        schema = schema_ab()
+        expr = ArithExpr("+", ColumnExpr("t.a"), ArithExpr("*", ColumnExpr("t.b"), ConstExpr(2)))
+        assert expr.compile(schema)((3, 4.0)) == 11.0
+
+    def test_division(self):
+        schema = schema_ab()
+        expr = ArithExpr("/", ColumnExpr("t.a"), ConstExpr(2))
+        assert expr.compile(schema)((9, 0.0)) == 4.5
+
+    def test_negation(self):
+        schema = schema_ab()
+        expr = NegExpr(ColumnExpr("t.a"))
+        assert expr.compile(schema)((5, 0.0)) == -5
+
+    def test_func_expr(self):
+        schema = schema_ab()
+        expr = FuncExpr("twice", lambda x: 2 * x, (ColumnExpr("t.a"),))
+        assert expr.compile(schema)((6, 0.0)) == 12
+        assert expr.contains_function()
+
+    def test_columns_collection(self):
+        expr = ArithExpr("+", ColumnExpr("t.a"), ColumnExpr("t.b"))
+        assert expr.columns() == frozenset({"t.a", "t.b"})
+
+    def test_sql_rendering(self):
+        expr = ArithExpr("*", ColumnExpr("t.a"), ConstExpr(3))
+        assert expr.sql() == "(t.a * 3)"
+        assert ConstExpr("x'y").sql() == "'x''y'"
+
+
+class TestPredicates:
+    def test_comparison_compile(self):
+        schema = schema_ab()
+        pred = Comparison(CompareOp.LE, ColumnExpr("t.a"), ConstExpr(5))
+        fn = pred.compile(schema)
+        assert fn((5, 0.0)) and not fn((6, 0.0))
+
+    def test_equi_join_detection(self):
+        join = Comparison(CompareOp.EQ, ColumnExpr("a.x"), ColumnExpr("b.y"))
+        assert join.is_equi_join
+        same_rel = Comparison(CompareOp.EQ, ColumnExpr("a.x"), ColumnExpr("a.y"))
+        assert not same_rel.is_equi_join
+        non_eq = Comparison(CompareOp.LT, ColumnExpr("a.x"), ColumnExpr("b.y"))
+        assert not non_eq.is_equi_join
+
+    def test_column_and_constant_both_orders(self):
+        c1 = Comparison(CompareOp.LT, ColumnExpr("t.a"), ConstExpr(5))
+        c2 = Comparison(CompareOp.GT, ConstExpr(5), ColumnExpr("t.a"))
+        assert c1.column_and_constant() == ("t.a", 5)
+        assert c2.column_and_constant() == ("t.a", 5)
+
+    def test_normalized_flips(self):
+        pred = Comparison(CompareOp.GT, ConstExpr(5), ColumnExpr("t.a")).normalized()
+        assert isinstance(pred.left, ColumnExpr)
+        assert pred.op is CompareOp.LT
+
+    def test_flipped_ops(self):
+        assert CompareOp.LT.flipped is CompareOp.GT
+        assert CompareOp.GE.flipped is CompareOp.LE
+        assert CompareOp.EQ.flipped is CompareOp.EQ
+
+    def test_or_and_not_compile(self):
+        schema = schema_ab()
+        eq1 = Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1))
+        eq2 = Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(2))
+        orp = OrPredicate((eq1, eq2)).compile(schema)
+        assert orp((1, 0.0)) and orp((2, 0.0)) and not orp((3, 0.0))
+        andp = AndPredicate((eq1, eq2)).compile(schema)
+        assert not andp((1, 0.0))
+        notp = NotPredicate(eq1).compile(schema)
+        assert notp((9, 0.0)) and not notp((1, 0.0))
+
+    def test_in_compile(self):
+        schema = schema_ab()
+        pred = InPredicate(ColumnExpr("t.a"), (1, 3)).compile(schema)
+        assert pred((3, 0.0)) and not pred((2, 0.0))
+
+    def test_qualifiers(self):
+        pred = Comparison(CompareOp.EQ, ColumnExpr("a.x"), ColumnExpr("b.y"))
+        assert pred.qualifiers() == frozenset({"a", "b"})
+        assert qualifier_of("a.x") == "a"
+        assert qualifier_of("bare") == ""
+
+    def test_parameter_flag_propagates(self):
+        base = Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1), param_based=True)
+        assert OrPredicate((base,)).is_parameter_based
+        assert NotPredicate(base).is_parameter_based
+        assert AndPredicate((base,)).is_parameter_based
+
+
+class TestTypeInference:
+    def test_column_types(self):
+        schema = schema_ab()
+        assert infer_dtype(ColumnExpr("t.a"), schema) is DataType.INTEGER
+        assert infer_dtype(ColumnExpr("t.b"), schema) is DataType.FLOAT
+
+    def test_aggregate_types(self):
+        schema = schema_ab()
+        assert infer_dtype(AggregateExpr(AggFunc.COUNT, None), schema) is DataType.INTEGER
+        assert infer_dtype(
+            AggregateExpr(AggFunc.SUM, ColumnExpr("t.a")), schema
+        ) is DataType.FLOAT
+        assert infer_dtype(
+            AggregateExpr(AggFunc.MIN, ColumnExpr("t.a")), schema
+        ) is DataType.INTEGER
+
+    def test_output_schema(self):
+        schema = schema_ab()
+        out = output_schema(
+            [
+                OutputColumn("x", ColumnExpr("t.a")),
+                OutputColumn("n", AggregateExpr(AggFunc.COUNT, None)),
+            ],
+            schema,
+        )
+        assert out.names == ("x", "n")
+
+
+class TestPhysicalNodes:
+    def _scan(self, alias="t"):
+        return SeqScanNode("t", alias, schema_ab(alias))
+
+    def test_walk_and_find(self):
+        scan = self._scan()
+        filt = FilterNode(scan, [Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1))])
+        nodes = list(filt.walk())
+        assert nodes == [filt, scan]
+        assert filt.find(scan.node_id) is scan
+        assert filt.find(-1) is None
+
+    def test_base_aliases(self):
+        left = self._scan("a")
+        right = self._scan("b")
+        join = HashJoinNode(left, right, [("a.a", "b.a")])
+        assert join.base_aliases == frozenset({"a", "b"})
+
+    def test_blocking_flags(self):
+        scan = self._scan()
+        assert not scan.is_blocking
+        join = HashJoinNode(self._scan("a"), self._scan("b"), [("a.a", "b.a")])
+        assert join.is_blocking
+
+    def test_join_schema_concat(self):
+        join = HashJoinNode(self._scan("a"), self._scan("b"), [("a.a", "b.a")])
+        assert len(join.schema) == 4
+
+    def test_collector_spec(self):
+        spec = CollectorSpec(histogram_columns=("t.a",), distinct_column_sets=(("t.b",),))
+        assert spec.statistic_count == 2
+        node = StatsCollectorNode(self._scan(), spec)
+        assert "histogram(t.a)" in node.detail()
+
+    def test_node_ids_unique(self):
+        nodes = [self._scan() for __ in range(5)]
+        assert len({n.node_id for n in nodes}) == 5
+
+
+class TestPrinter:
+    def test_explain_contains_structure(self):
+        scan = SeqScanNode("t", "t", schema_ab())
+        filt = FilterNode(scan, [Comparison(CompareOp.LT, ColumnExpr("t.a"), ConstExpr(5))])
+        text = explain(filt)
+        assert "Filter" in text and "SeqScan" in text
+        assert text.index("Filter") < text.index("SeqScan")
+
+    def test_collector_nodes_listing(self):
+        scan = SeqScanNode("t", "t", schema_ab())
+        collector = StatsCollectorNode(scan, CollectorSpec())
+        assert collector_nodes(collector) == [collector]
+
+
+class TestRewrite:
+    def test_rename_scalar(self):
+        mapping = {"t.a": "tmp.t__a"}
+        renamed = rename_scalar(ArithExpr("+", ColumnExpr("t.a"), ConstExpr(1)), mapping)
+        assert renamed.columns() == frozenset({"tmp.t__a"})
+
+    def test_rename_leaves_unmapped(self):
+        renamed = rename_scalar(ColumnExpr("u.x"), {"t.a": "y"})
+        assert renamed.name == "u.x"
+
+    def test_rename_predicate_variants(self):
+        mapping = {"t.a": "m.a2"}
+        preds = [
+            Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1), param_based=True),
+            InPredicate(ColumnExpr("t.a"), (1, 2)),
+            OrPredicate((Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1)),)),
+            NotPredicate(Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1))),
+            AndPredicate((Comparison(CompareOp.EQ, ColumnExpr("t.a"), ConstExpr(1)),)),
+        ]
+        for pred in preds:
+            renamed = rename_predicate(pred, mapping)
+            assert renamed.columns() == frozenset({"m.a2"})
+        # Parameter flag must survive the rename.
+        assert rename_predicate(preds[0], mapping).is_parameter_based
+
+    def test_rename_output_aggregate(self):
+        item = OutputColumn("s", AggregateExpr(AggFunc.SUM, ColumnExpr("t.a")))
+        renamed = rename_output(item, {"t.a": "m.a"})
+        assert renamed.columns() == frozenset({"m.a"})
+        assert renamed.name == "s"
+
+    def test_rename_count_star(self):
+        item = OutputColumn("n", AggregateExpr(AggFunc.COUNT, None))
+        renamed = rename_output(item, {"t.a": "m.a"})
+        assert renamed.expr.arg is None

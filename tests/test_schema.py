@@ -1,0 +1,153 @@
+"""Tests for repro.storage.schema."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CatalogError
+from repro.storage.schema import (
+    Column,
+    DataType,
+    ROW_HEADER_BYTES,
+    Schema,
+    date_to_int,
+    int_to_date,
+)
+
+
+class TestDataType:
+    def test_default_widths(self):
+        assert DataType.INTEGER.default_width == 4
+        assert DataType.DATE.default_width == 4
+        assert DataType.FLOAT.default_width == 8
+        assert DataType.STRING.default_width == 16
+
+    def test_numeric_classification(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+
+class TestDates:
+    def test_roundtrip(self):
+        assert int_to_date(date_to_int("1998-09-02")) == "1998-09-02"
+
+    def test_ordering_matches_calendar(self):
+        assert date_to_int("1994-01-01") < date_to_int("1995-01-01")
+
+    def test_invalid_date_raises(self):
+        with pytest.raises(ValueError):
+            date_to_int("not-a-date")
+
+    @given(st.integers(min_value=1, max_value=3_000_000))
+    def test_roundtrip_property(self, ordinal):
+        assert date_to_int(int_to_date(ordinal)) == ordinal
+
+
+class TestColumn:
+    def test_default_width_applied(self):
+        col = Column("x", DataType.FLOAT)
+        assert col.width == 8
+
+    def test_explicit_width_kept(self):
+        col = Column("x", DataType.STRING, width=40)
+        assert col.width == 40
+
+    def test_base_name_strips_qualifier(self):
+        assert Column("t.x", DataType.INTEGER).base_name == "x"
+        assert Column("x", DataType.INTEGER).base_name == "x"
+
+    def test_qualified(self):
+        col = Column("x", DataType.INTEGER).qualified("t")
+        assert col.name == "t.x"
+        # Re-qualifying replaces the qualifier rather than nesting.
+        assert col.qualified("u").name == "u.x"
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [
+                Column("id", DataType.INTEGER),
+                Column("value", DataType.FLOAT),
+                Column("name", DataType.STRING),
+            ]
+        )
+
+    def test_len_and_names(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert schema.names == ("id", "value", "name")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("x", DataType.INTEGER), Column("x", DataType.FLOAT)])
+
+    def test_index_of_bare_and_qualified(self):
+        schema = self._schema().qualify("t")
+        assert schema.index_of("t.value") == 1
+        assert schema.index_of("value") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            self._schema().index_of("missing")
+
+    def test_ambiguous_bare_name_raises(self):
+        schema = self._schema().qualify("a").concat(self._schema().qualify("b"))
+        with pytest.raises(CatalogError):
+            schema.index_of("id")
+        assert schema.index_of("a.id") == 0
+        assert schema.index_of("b.id") == 3
+
+    def test_row_bytes_includes_header(self):
+        schema = self._schema()
+        assert schema.row_bytes == ROW_HEADER_BYTES + 4 + 8 + 16
+
+    def test_rows_per_page_at_least_one(self):
+        wide = Schema([Column("s", DataType.STRING, width=10_000)])
+        assert wide.rows_per_page(4096) == 1
+
+    def test_page_count(self):
+        schema = self._schema()
+        per_page = schema.rows_per_page(4096)
+        assert schema.page_count(0, 4096) == 0
+        assert schema.page_count(1, 4096) == 1
+        assert schema.page_count(per_page, 4096) == 1
+        assert schema.page_count(per_page + 1, 4096) == 2
+
+    def test_concat(self):
+        left = self._schema().qualify("a")
+        right = self._schema().qualify("b")
+        joined = left.concat(right)
+        assert len(joined) == 6
+        assert joined.names[:3] == left.names
+
+    def test_project(self):
+        schema = self._schema()
+        projected = schema.project(["name", "id"])
+        assert projected.names == ("name", "id")
+
+    def test_renamed(self):
+        schema = self._schema()
+        renamed = schema.renamed({"id": "t__id"})
+        assert renamed.names == ("t__id", "value", "name")
+        # dtypes preserved
+        assert renamed.column("t__id").dtype is DataType.INTEGER
+
+    def test_has_column(self):
+        schema = self._schema().qualify("t")
+        assert schema.has_column("t.id")
+        assert schema.has_column("id")
+        assert not schema.has_column("nope")
+
+    def test_equality(self):
+        assert self._schema() == self._schema()
+        assert self._schema() != self._schema().qualify("t")
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_page_count_covers_all_rows(self, rows):
+        schema = self._schema()
+        pages = schema.page_count(rows, 4096)
+        assert pages * schema.rows_per_page(4096) >= rows
+        # And not excessively: one fewer page would not fit.
+        assert (pages - 1) * schema.rows_per_page(4096) < rows

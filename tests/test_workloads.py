@@ -1,0 +1,182 @@
+"""Tests for the synthetic and TPC-D workload generators."""
+
+import pytest
+
+from repro import Database, DynamicMode
+from repro.storage.schema import int_to_date
+from repro.workloads.synthetic import (
+    RUNNING_EXAMPLE_SQL,
+    SyntheticConfig,
+    build_running_example,
+)
+from repro.workloads.tpcd import (
+    ALL_QUERIES,
+    COMPLEX_QUERIES,
+    CatalogProfile,
+    MEDIUM_QUERIES,
+    SIMPLE_QUERIES,
+    TpcdConfig,
+    generate_tpcd,
+    query_by_name,
+    rows_for,
+)
+
+
+class TestSynthetic:
+    def test_tables_created_and_analyzed(self):
+        db = Database()
+        cfg = build_running_example(db, SyntheticConfig(rel1_rows=500, rel2_rows=100,
+                                                        rel3_rows=800))
+        for name in ("rel1", "rel2", "rel3"):
+            assert name in db
+            assert db.catalog.stats_for(name).row_count == db.table(name).row_count
+
+    def test_correlation_positive(self):
+        db = Database()
+        build_running_example(
+            db, SyntheticConfig(rel1_rows=2000, rel2_rows=50, rel3_rows=50,
+                                correlation=1.0)
+        )
+        rows = db.table("rel1").rows
+        assert all(row[1] == row[2] for row in rows)
+
+    def test_correlation_negative(self):
+        db = Database()
+        cfg = SyntheticConfig(rel1_rows=2000, rel2_rows=50, rel3_rows=50,
+                              correlation=-1.0)
+        build_running_example(db, cfg)
+        rows = db.table("rel1").rows
+        assert all(row[1] + row[2] == cfg.select_domain + 1 for row in rows)
+
+    def test_correlation_zero_independent(self):
+        db = Database()
+        build_running_example(
+            db, SyntheticConfig(rel1_rows=5000, rel2_rows=50, rel3_rows=50,
+                                correlation=0.0)
+        )
+        rows = db.table("rel1").rows
+        matches = sum(1 for row in rows if row[1] == row[2])
+        assert matches < 0.05 * len(rows)
+
+    def test_stale_factor_applied(self):
+        db = Database()
+        build_running_example(
+            db, SyntheticConfig(rel1_rows=1000, rel2_rows=50, rel3_rows=50,
+                                rel1_stale_factor=2.0)
+        )
+        assert db.catalog.stats_for("rel1").row_count == pytest.approx(2000)
+        assert db.table("rel1").row_count == 1000
+
+    def test_running_example_executes(self):
+        db = Database()
+        build_running_example(db, SyntheticConfig(rel1_rows=1000, rel2_rows=200,
+                                                  rel3_rows=2000))
+        result = db.execute(
+            RUNNING_EXAMPLE_SQL, params={"value1": 50, "value2": 50},
+            mode=DynamicMode.OFF,
+        )
+        assert len(result) > 0
+        assert result.column_names[-1] == "groupattr"
+
+
+class TestTpcdGeneration:
+    @pytest.fixture(scope="class")
+    def db(self):
+        db = Database()
+        generate_tpcd(db, TpcdConfig(scale_factor=0.002, catalog=CatalogProfile.FRESH))
+        return db
+
+    def test_row_ratios(self, db):
+        assert db.table("region").row_count == 5
+        assert db.table("nation").row_count == 25
+        assert db.table("customer").row_count == rows_for("customer", 0.002)
+        assert db.table("orders").row_count == rows_for("orders", 0.002)
+        # lineitem has 1-7 lines per order (average ~4).
+        ratio = db.table("lineitem").row_count / db.table("orders").row_count
+        assert 1.0 <= ratio <= 7.0
+
+    def test_referential_integrity(self, db):
+        customers = {row[0] for row in db.table("customer").rows}
+        assert all(row[1] in customers for row in db.table("orders").rows)
+        orders = {row[0] for row in db.table("orders").rows}
+        assert all(row[0] in orders for row in db.table("lineitem").rows)
+
+    def test_shipdate_follows_orderdate(self, db):
+        order_dates = {row[0]: row[4] for row in db.table("orders").rows}
+        schema = db.table("lineitem").schema
+        ship_pos = schema.index_of("l_shipdate")
+        for row in db.table("lineitem").rows[:500]:
+            assert row[ship_pos] >= order_dates[row[0]]
+            assert row[ship_pos] <= order_dates[row[0]] + 121
+
+    def test_indexes_built(self, db):
+        assert db.catalog.index_on("orders", "o_orderkey") is not None
+        assert db.catalog.index_on("lineitem", "l_orderkey") is not None
+
+    def test_fresh_catalog_has_maxdiff(self, db):
+        stats = db.catalog.stats_for("lineitem")
+        hist = stats.column("l_quantity").histogram
+        assert hist is not None and hist.kind.is_serial_class
+
+    def test_skew_changes_distribution(self):
+        flat_db = Database()
+        generate_tpcd(flat_db, TpcdConfig(scale_factor=0.002, zipf_z=0.0))
+        skewed_db = Database()
+        generate_tpcd(skewed_db, TpcdConfig(scale_factor=0.002, zipf_z=1.0))
+
+        def top_customer_share(db):
+            from collections import Counter
+
+            counts = Counter(row[1] for row in db.table("orders").rows)
+            total = sum(counts.values())
+            return max(counts.values()) / total
+
+        assert top_customer_share(skewed_db) > 2 * top_customer_share(flat_db)
+
+    def test_stale_profile_scales_counts(self):
+        db = Database()
+        generate_tpcd(
+            db,
+            TpcdConfig(scale_factor=0.002, catalog=CatalogProfile.STALE,
+                       stale_row_factor=0.5),
+        )
+        believed = db.catalog.stats_for("lineitem").row_count
+        actual = db.table("lineitem").row_count
+        assert believed == pytest.approx(actual * 0.5, rel=0.01)
+        assert db.catalog.stats_for("lineitem").significant_update_activity
+
+
+class TestTpcdQueries:
+    def test_classification(self):
+        assert {q.name for q in SIMPLE_QUERIES} == {"Q1", "Q6"}
+        assert {q.name for q in MEDIUM_QUERIES} == {"Q3", "Q10"}
+        assert {q.name for q in COMPLEX_QUERIES} == {"Q5", "Q7", "Q8"}
+
+    def test_lookup(self):
+        assert query_by_name("q5").name == "Q5"
+        with pytest.raises(KeyError):
+            query_by_name("Q99")
+
+    def test_join_counts_match_sql(self):
+        db = Database()
+        generate_tpcd(db, TpcdConfig(scale_factor=0.002))
+        for query in ALL_QUERIES:
+            bound = db.bind_sql(query.sql)
+            assert bound.join_count == query.join_count, query.name
+
+    @pytest.mark.parametrize("name", ["Q1", "Q3", "Q5", "Q6", "Q7", "Q8", "Q10"])
+    def test_queries_execute(self, name):
+        db = Database()
+        generate_tpcd(db, TpcdConfig(scale_factor=0.002))
+        query = query_by_name(name)
+        result = db.execute(query.sql, mode=DynamicMode.OFF)
+        assert result.profile.total_cost > 0
+        if name not in ("Q3", "Q10"):  # selective date windows may be empty at tiny SF
+            assert len(result) > 0
+
+    def test_q1_aggregates_are_consistent(self):
+        db = Database()
+        generate_tpcd(db, TpcdConfig(scale_factor=0.002))
+        result = db.execute(query_by_name("Q1").sql, mode=DynamicMode.OFF)
+        for row in result.to_dicts():
+            assert row["avg_qty"] == pytest.approx(row["sum_qty"] / row["count_order"])
