@@ -121,6 +121,14 @@ class EngineConfig:
     #: own build input still reaches it.  Paradise did not support this;
     #: the default False reproduces the paper's baseline behaviour.
     responsive_hash_joins: bool = False
+    #: Tuple-at-a-time (``"row"``) or vectorized (``"batch"``) execution.
+    #: Both paths produce identical rows, cost-clock charges and observed
+    #: statistics; the batch path amortises Python interpretation overhead
+    #: over ``batch_size`` tuples and is the default.
+    execution_mode: str = "batch"
+    #: Rows per batch on the batch execution path.  Operators may yield
+    #: slightly larger batches (scans round up to page boundaries).
+    batch_size: int = 1024
     #: Deterministic seed for sampling/sketches inside the engine.
     seed: int = 0x5EED
 
@@ -140,6 +148,12 @@ class EngineConfig:
             raise ConfigError(f"reservoir_sample_size must be positive, got {self.reservoir_sample_size}")
         if self.runtime_histogram_buckets <= 0:
             raise ConfigError(f"runtime_histogram_buckets must be positive, got {self.runtime_histogram_buckets}")
+        if self.execution_mode not in ("row", "batch"):
+            raise ConfigError(
+                f"execution_mode must be 'row' or 'batch', got {self.execution_mode!r}"
+            )
+        if self.batch_size <= 0:
+            raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
 
     def with_updates(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this configuration with ``changes`` applied."""

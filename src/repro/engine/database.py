@@ -165,6 +165,7 @@ class Database:
         mode: DynamicMode = DynamicMode.FULL,
         memory_budget_pages: int | None = None,
         parametric: bool = False,
+        execution_mode: str | None = None,
     ) -> QueryResult:
         """Execute a statement under the given dynamic-re-optimization mode.
 
@@ -173,8 +174,16 @@ class Database:
         compile time and the cheapest matching plan is chosen once the
         values are known — the section 4 hybrid; Dynamic Re-Optimization
         stays armed for the cases no scenario anticipated.
+
+        ``execution_mode`` overrides :attr:`EngineConfig.execution_mode`
+        (``"row"`` or ``"batch"``) for this query only; both paths yield
+        identical rows, cost-clock charges and observed statistics.
         """
         query = self.bind_sql(sql, params)
+        run_config = self.config
+        if execution_mode is not None:
+            run_config = self.config.with_updates(execution_mode=execution_mode)
+            run_config.validate()
 
         clock = CostClock(self.config.cost)
         buffer_pool = BufferPool(self.config.buffer_pool_pages, clock)
@@ -220,7 +229,7 @@ class Database:
         memory_manager = MemoryManager(budget)
         ctx = RuntimeContext(
             catalog=self.catalog,
-            config=self.config,
+            config=run_config,
             clock=clock,
             buffer_pool=buffer_pool,
             temp_manager=temp_manager,

@@ -1,5 +1,6 @@
-"""Execution engine: iterators, memory manager, segments, dispatcher."""
+"""Execution engine: iterators, batch path, memory manager, segments, dispatcher."""
 
+from .batch import execute_node_batches
 from .collector import ObservedStatistics, RuntimeCollector
 from .dispatcher import DispatchResult, Dispatcher, SwitchEvent
 from .iterators import execute_node
@@ -27,6 +28,7 @@ __all__ = [
     "SwitchEvent",
     "blocking_input_edges",
     "execute_node",
+    "execute_node_batches",
     "execution_order",
     "memory_demands",
     "segment_of",

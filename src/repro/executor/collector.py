@@ -21,7 +21,8 @@ that the improved-estimate machinery substitutes into the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from operator import itemgetter
+from typing import Mapping, Sequence
 
 from ..config import EngineConfig
 from ..plans.physical import CollectorSpec, StatsCollectorNode
@@ -196,6 +197,37 @@ class RuntimeCollector:
                 sketch.add(row[positions[0]])
             else:
                 sketch.add(tuple(row[p] for p in positions))
+
+    def observe_batch(self, rows: Sequence[Row]) -> None:
+        """Examine one batch of tuples (the batch-path fast path).
+
+        Produces state identical to calling :meth:`observe` per row in
+        order — running counts and min/max fold over the batch, reservoir
+        and sketch updates preserve per-value order so the reservoir's RNG
+        stream (and therefore the final histogram) is bit-identical.
+        """
+        if not rows:
+            return
+        self.row_count += len(rows)
+        minmax = self._minmax
+        for name, position in self._numeric_positions:
+            values = list(map(itemgetter(position), rows))
+            lo = min(values)
+            hi = max(values)
+            entry = minmax.get(name)
+            if entry is None:
+                minmax[name] = [lo, hi]
+            else:
+                if lo < entry[0]:
+                    entry[0] = lo
+                if hi > entry[1]:
+                    entry[1] = hi
+        for position, reservoir in self._reservoirs.values():
+            reservoir.add_batch(list(map(itemgetter(position), rows)))
+        for positions, sketch in self._sketches.values():
+            # itemgetter yields the scalar for one position, the tuple for
+            # several — matching observe()'s per-row extraction.
+            sketch.add_batch(list(map(itemgetter(*positions), rows)))
 
     def finalize(self) -> ObservedStatistics:
         """Turn the accumulated state into observed statistics."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from ..plans.physical import PlanNode
 from ..storage.table import Row
+from .batch import execute_node_batches
 from .iterators import execute_node
 from .runtime import PlanSwitchDirective, PlanSwitched, RuntimeContext
 
@@ -51,7 +52,7 @@ class Dispatcher:
         while True:
             self._notify_plan(current)
             try:
-                rows = list(execute_node(current, self.ctx))
+                rows = self._drain(current)
                 return DispatchResult(
                     rows=rows,
                     final_plan=current,
@@ -71,6 +72,21 @@ class Dispatcher:
                 self.ctx.allocation.update(directive.new_allocation)
                 current = directive.new_plan
                 history.append(current)
+
+    def _drain(self, plan: PlanNode) -> list[Row]:
+        """Run one plan to completion on the configured execution path.
+
+        Plan switches unwind out of either path as
+        :class:`~repro.executor.runtime.PlanSwitched`; on the batch path
+        they surface at batch boundaries (the cut operator's blocking point),
+        so re-optimization semantics are identical.
+        """
+        if self.ctx.execution_mode == "batch":
+            rows: list[Row] = []
+            for batch in execute_node_batches(plan, self.ctx):
+                rows.extend(batch)
+            return rows
+        return list(execute_node(plan, self.ctx))
 
     def _notify_plan(self, plan: PlanNode) -> None:
         controller = self.ctx.controller

@@ -21,7 +21,8 @@ Manager issued, which is the behaviour the memory experiments measure.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from operator import itemgetter
+from typing import Callable, Iterator, Sequence
 
 from ..errors import ExecutionError
 from ..optimizer.cost_model import OperatorCost, pages_for
@@ -70,6 +71,126 @@ def _tracked(node: PlanNode, ctx: RuntimeContext, gen: Iterator[Row]) -> Iterato
 
 
 # ----------------------------------------------------------------------
+# Compiled closures (cached on the plan node, shared with the batch path)
+# ----------------------------------------------------------------------
+
+
+def key_extractor(positions: Sequence[int]) -> Callable[[Row], object]:
+    """A closure extracting a join/group key from a row.
+
+    Single-column keys are extracted as scalars, multi-column keys as
+    tuples; build and probe sides use extractors built the same way, so the
+    representations always agree.
+    """
+    if len(positions) == 1:
+        return itemgetter(positions[0])
+    return itemgetter(*positions)
+
+
+def filter_predicates(node: FilterNode) -> tuple[Callable[[Row], bool], ...]:
+    """Compiled filter predicates, cached on the node."""
+    return node.compiled(
+        "predicates",
+        lambda: tuple(p.compile(node.child.schema) for p in node.predicates),
+    )
+
+
+def hash_join_keys(
+    node: HashJoinNode,
+) -> tuple[Callable[[Row], object], Callable[[Row], object]]:
+    """Build- and probe-side key extractors, cached on the node."""
+    build_key = node.compiled(
+        "build_key",
+        lambda: key_extractor(
+            [node.build.schema.index_of(col) for col, __ in node.key_pairs]
+        ),
+    )
+    probe_key = node.compiled(
+        "probe_key",
+        lambda: key_extractor(
+            [node.probe.schema.index_of(col) for __, col in node.key_pairs]
+        ),
+    )
+    return build_key, probe_key
+
+
+def residual_predicates(node) -> tuple[Callable[[Row], bool], ...]:
+    """Compiled residual/join predicates, cached on the node."""
+    predicates = getattr(node, "residual", None)
+    if predicates is None:
+        predicates = node.predicates
+    return node.compiled(
+        "residual", lambda: tuple(p.compile(node.schema) for p in predicates)
+    )
+
+
+def projector(node: ProjectNode) -> Callable[[Row], Row]:
+    """A closure building one output row, cached on the node.
+
+    All-column projections compile to a single :func:`operator.itemgetter`
+    instead of per-column closure calls.
+    """
+
+    def build() -> Callable[[Row], Row]:
+        child_schema = node.child.schema
+        exprs = []
+        positions: list[int] = []
+        for item in node.output:
+            if isinstance(item.expr, AggregateExpr):
+                raise ExecutionError("aggregate reached a Project operator")
+            exprs.append(item.expr.compile(child_schema))
+            if isinstance(item.expr, ColumnExpr):
+                positions.append(child_schema.index_of(item.expr.name))
+        if len(positions) == len(node.output) and len(positions) > 1:
+            return itemgetter(*positions)
+        if len(positions) == len(node.output) and len(positions) == 1:
+            position = positions[0]
+            return lambda row: (row[position],)
+        fns = tuple(exprs)
+        return lambda row: tuple(fn(row) for fn in fns)
+
+    return node.compiled("projector", build)
+
+
+AggItem = tuple[int, AggFunc, "Callable | None"]
+
+
+def aggregate_items(
+    node: HashAggregateNode,
+) -> tuple[tuple[int, ...], tuple[AggItem, ...], tuple[tuple[int, int], ...]]:
+    """Group positions, aggregate items and group outputs, cached on the node."""
+
+    def build():
+        child_schema = node.child.schema
+        group_positions = tuple(child_schema.index_of(col) for col in node.group_by)
+        agg_items: list[AggItem] = []
+        group_outputs: list[tuple[int, int]] = []
+        for out_index, item in enumerate(node.output):
+            if isinstance(item.expr, AggregateExpr):
+                arg = item.expr.arg
+                if arg is None:
+                    arg_fn = None
+                elif isinstance(arg, ColumnExpr):
+                    # itemgetter extracts at C speed under map() in the
+                    # batch path's per-group folds.
+                    arg_fn = itemgetter(child_schema.index_of(arg.name))
+                else:
+                    arg_fn = arg.compile(child_schema)
+                agg_items.append((out_index, item.expr.func, arg_fn))
+            elif isinstance(item.expr, ColumnExpr):
+                group_outputs.append(
+                    (out_index, child_schema.index_of(item.expr.name))
+                )
+            else:
+                raise ExecutionError(
+                    f"non-aggregate output {item.name!r} must be a group column"
+                )
+        return group_positions, tuple(agg_items), tuple(group_outputs)
+
+    return node.compiled("aggregate_items", build)
+
+
+# ----------------------------------------------------------------------
 # Scans
 # ----------------------------------------------------------------------
 
@@ -112,7 +233,7 @@ def _index_scan(node: IndexScanNode, ctx: RuntimeContext) -> Iterator[Row]:
 
 
 def _filter(node: FilterNode, ctx: RuntimeContext) -> Iterator[Row]:
-    predicate_fns = [p.compile(node.child.schema) for p in node.predicates]
+    predicate_fns = filter_predicates(node)
     per_row = max(1, len(predicate_fns)) * ctx.cost_model.params.cpu_per_compare
     consumed = 0
     try:
@@ -125,16 +246,12 @@ def _filter(node: FilterNode, ctx: RuntimeContext) -> Iterator[Row]:
 
 
 def _project(node: ProjectNode, ctx: RuntimeContext) -> Iterator[Row]:
-    exprs = []
-    for item in node.output:
-        if isinstance(item.expr, AggregateExpr):
-            raise ExecutionError("aggregate reached a Project operator")
-        exprs.append(item.expr.compile(node.child.schema))
+    project_row = projector(node)
     consumed = 0
     try:
         for row in execute_node(node.child, ctx):
             consumed += 1
-            yield tuple(fn(row) for fn in exprs)
+            yield project_row(row)
     finally:
         ctx.clock.charge_cpu(consumed * ctx.cost_model.params.cpu_per_tuple)
 
@@ -174,9 +291,8 @@ def _limit(node: LimitNode, ctx: RuntimeContext) -> Iterator[Row]:
 
 
 def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
-    build_positions = [node.build.schema.index_of(col) for col, __ in node.key_pairs]
-    probe_positions = [node.probe.schema.index_of(col) for __, col in node.key_pairs]
-    residual_fns = [p.compile(node.schema) for p in node.residual]
+    build_key, probe_key = hash_join_keys(node)
+    residual_fns = residual_predicates(node)
     page_size = ctx.catalog.page_size
 
     # --- build phase (blocking) ---
@@ -190,8 +306,7 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
             # collectors completing deeper in the build pipeline can still
             # re-allocate this operator's memory (paper section 2.3).
             grant = ctx.commit_memory(node)
-        key = tuple(row[p] for p in build_positions)
-        hash_table.setdefault(key, []).append(row)
+        hash_table.setdefault(build_key(row), []).append(row)
         build_rows += 1
     if grant is None:
         # Responsive operators (section 2.3 extension) commit at the spill
@@ -210,8 +325,7 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
         try:
             for prow in execute_node(node.probe, ctx):
                 probe_count += 1
-                key = tuple(prow[p] for p in probe_positions)
-                matches = hash_table.get(key)
+                matches = hash_table.get(probe_key(prow))
                 if not matches:
                     continue
                 for brow in matches:
@@ -258,7 +372,7 @@ def _index_nl_join(node: IndexNLJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
             f"index on {node.inner_table}.{node.inner_column} disappeared"
         )
     outer_position = node.outer.schema.index_of(node.outer_column)
-    residual_fns = [p.compile(node.schema) for p in node.residual]
+    residual_fns = residual_predicates(node)
     outer_count = 0
     matches_total = 0
     output_count = 0
@@ -294,7 +408,7 @@ def _index_nl_join(node: IndexNLJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
 
 def _block_nl_join(node: BlockNLJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
     page_size = ctx.catalog.page_size
-    predicate_fns = [p.compile(node.schema) for p in node.predicates]
+    predicate_fns = residual_predicates(node)
     inner_rows = list(execute_node(node.inner, ctx))
     inner_pages = pages_for(len(inner_rows), node.inner.schema.row_bytes, page_size)
 
@@ -351,6 +465,14 @@ def _block_nl_join(node: BlockNLJoinNode, ctx: RuntimeContext) -> Iterator[Row]:
 # ----------------------------------------------------------------------
 
 
+#: Whether builtin sum() performs a plain left-to-right addition fold.
+#: Python 3.12+ switched float sum() to Neumaier compensated summation —
+#: more accurate, but not bit-identical to the row path's running
+#: ``total += value`` — so the batch path only takes the sum() fast path
+#: when the two folds provably agree.
+_SUM_IS_LEFT_FOLD = sum([1e16, 1.0, -1e16]) == ((1e16 + 1.0) + -1e16)
+
+
 class _AggState:
     """Running state for one aggregate expression within one group."""
 
@@ -376,6 +498,52 @@ class _AggState:
             if self.maximum is None or value > self.maximum:
                 self.maximum = value
 
+    def update_batch(self, values: Sequence) -> None:
+        """Fold a whole batch of argument values into the state.
+
+        Equivalent to calling :meth:`update` once per value in order:
+        additions and comparisons happen left-to-right over the same
+        operands, so float totals and min/max are bit-identical to the
+        row path's.  NULL (None) arguments still count but do not fold.
+        """
+        self.count += len(values)
+        func = self.func
+        if func is AggFunc.COUNT:
+            return
+        if func is AggFunc.SUM or func is AggFunc.AVG:
+            if _SUM_IS_LEFT_FOLD:
+                try:
+                    self.total = sum(values, self.total)
+                    return
+                except TypeError:
+                    pass  # None present, or non-numeric values: exact loop.
+            total = self.total
+            for value in values:
+                if value is not None:
+                    total += value
+            self.total = total
+        elif func is AggFunc.MIN:
+            try:
+                best = min(values)
+            except TypeError:
+                # None mixed with values: replicate the row path's skip.
+                best = None
+                for value in values:
+                    if value is not None and (best is None or value < best):
+                        best = value
+            if best is not None and (self.minimum is None or best < self.minimum):
+                self.minimum = best
+        else:
+            try:
+                best = max(values)
+            except TypeError:
+                best = None
+                for value in values:
+                    if value is not None and (best is None or value > best):
+                        best = value
+            if best is not None and (self.maximum is None or best > self.maximum):
+                self.maximum = best
+
     def result(self):
         if self.func is AggFunc.COUNT:
             return self.count
@@ -392,19 +560,7 @@ class _AggState:
 
 def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> Iterator[Row]:
     child_schema = node.child.schema
-    group_positions = [child_schema.index_of(col) for col in node.group_by]
-    agg_items: list[tuple[int, AggFunc, Callable | None]] = []
-    group_outputs: list[tuple[int, int]] = []
-    for out_index, item in enumerate(node.output):
-        if isinstance(item.expr, AggregateExpr):
-            arg_fn = item.expr.arg.compile(child_schema) if item.expr.arg else None
-            agg_items.append((out_index, item.expr.func, arg_fn))
-        elif isinstance(item.expr, ColumnExpr):
-            group_outputs.append((out_index, child_schema.index_of(item.expr.name)))
-        else:
-            raise ExecutionError(
-                f"non-aggregate output {item.name!r} must be a group column"
-            )
+    group_positions, agg_items, group_outputs = aggregate_items(node)
     groups: dict[tuple, list[_AggState]] = {}
     input_rows = 0
     grant: int | None = None

@@ -95,6 +95,16 @@ class RuntimeContext:
     #: Count of memory re-allocations performed so far.
     reallocations: int = 0
 
+    @property
+    def execution_mode(self) -> str:
+        """Tuple-at-a-time (``"row"``) or vectorized (``"batch"``) execution."""
+        return self.config.execution_mode
+
+    @property
+    def batch_size(self) -> int:
+        """Target rows per batch on the batch execution path."""
+        return self.config.batch_size
+
     def memory_for(self, node: PlanNode) -> int:
         """Granted memory pages for a node (max demand when ungoverned)."""
         granted = self.allocation.get(node.node_id)

@@ -17,13 +17,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from ..stats.estimator import RelProfile
 from ..storage.schema import Schema
 from .logical import OrderItem, OutputColumn, Predicate
 
 _node_ids = itertools.count(1)
+
+_C = TypeVar("_C")
 
 
 @dataclass
@@ -65,6 +67,20 @@ class PlanNode:
         self.schema = schema
         self.children: tuple[PlanNode, ...] = tuple(children)
         self.est = Estimates()
+        #: Compiled predicate/projection/key closures, keyed by purpose.
+        #: Schemas are fixed for a node's lifetime, so closures compiled for
+        #: one execution are valid for every later one (and are shared by the
+        #: row and batch execution paths — e.g. a hash join's key extractors
+        #: across its build and probe phases).
+        self._compiled: dict[str, object] = {}
+
+    def compiled(self, key: str, factory: Callable[[], _C]) -> _C:
+        """Return the closure cached under ``key``, compiling it on first use."""
+        try:
+            return self._compiled[key]  # type: ignore[return-value]
+        except KeyError:
+            value = self._compiled[key] = factory()
+            return value
 
     @property
     def label(self) -> str:

@@ -47,6 +47,9 @@ class DistinctCounter(Protocol):
     def add(self, value) -> None:
         """Observe one value."""
 
+    def add_batch(self, values) -> None:
+        """Observe a batch of values (the batch execution path)."""
+
     def estimate(self) -> float:
         """Estimated number of distinct values observed."""
 
@@ -59,6 +62,10 @@ class ExactDistinct:
 
     def add(self, value) -> None:
         self._seen.add(value)
+
+    def add_batch(self, values: Iterable) -> None:
+        """Observe a batch of values at once."""
+        self._seen.update(values)
 
     def extend(self, values: Iterable) -> None:
         """Observe every value from an iterable."""
@@ -93,6 +100,19 @@ class HybridDistinct:
             if len(self._exact) > self._threshold:
                 self._exact = None
 
+    def add_batch(self, values) -> None:
+        """Observe a batch of values at once.
+
+        The exact set is dropped after the batch rather than mid-batch, so
+        it may transiently exceed the threshold by one batch; the final
+        estimate is unchanged (the sketch observed every value either way).
+        """
+        self._sketch.add_batch(values)
+        if self._exact is not None:
+            self._exact.update(values)
+            if len(self._exact) > self._threshold:
+                self._exact = None
+
     def extend(self, values: Iterable) -> None:
         """Observe every value from an iterable."""
         for value in values:
@@ -120,6 +140,18 @@ class FlajoletMartin:
         h //= self.num_maps
         rank = self._trailing_zeros(h)
         self._bitmaps[bucket] |= 1 << rank
+
+    def add_batch(self, values) -> None:
+        """Observe a batch of values with the hashing loop kept local."""
+        bitmaps = self._bitmaps
+        salt = self._salt
+        num_maps = self.num_maps
+        for value in values:
+            h = _mix64(hash(value) ^ salt)
+            bucket = h % num_maps
+            h //= num_maps
+            rank = (h & -h).bit_length() - 1 if h else 63
+            bitmaps[bucket] |= 1 << rank
 
     def extend(self, values: Iterable) -> None:
         """Observe every value from an iterable."""

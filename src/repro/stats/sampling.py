@@ -44,6 +44,31 @@ class Reservoir:
         for value in values:
             self.add(value)
 
+    def add_batch(self, values: Sequence) -> None:
+        """Offer a batch of values with one bookkeeping pass.
+
+        Consumes the RNG exactly as per-value :meth:`add` calls would (one
+        ``randrange`` per value past capacity, with the same running
+        ``seen``), so the resulting sample is bit-identical to the
+        row-at-a-time path.
+        """
+        sample = self._sample
+        capacity = self.capacity
+        seen = self.seen
+        index = 0
+        total = len(values)
+        while len(sample) < capacity and index < total:
+            sample.append(values[index])
+            index += 1
+            seen += 1
+        randrange = self._rng.randrange
+        for index in range(index, total):
+            seen += 1
+            slot = randrange(seen)
+            if slot < capacity:
+                sample[slot] = values[index]
+        self.seen = seen
+
     @property
     def sample(self) -> Sequence:
         """The current sample (length ``min(capacity, seen)``)."""
