@@ -23,7 +23,9 @@ Quickstart::
 from .config import CostParameters, EngineConfig, ReoptimizationParameters
 from .core.modes import DynamicMode
 from .engine.database import Database
-from .engine.profile import ExecutionProfile
+from .engine.plan_cache import PlanCache, PlanCacheStats
+from .engine.prepared import PreparedStatement
+from .engine.profile import ExecutionProfile, PhaseBreakdown
 from .engine.results import QueryResult
 from .errors import ReproError
 from .stats.histogram import HistogramKind
@@ -40,6 +42,10 @@ __all__ = [
     "EngineConfig",
     "ExecutionProfile",
     "HistogramKind",
+    "PhaseBreakdown",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedStatement",
     "QueryResult",
     "ReoptimizationParameters",
     "ReproError",

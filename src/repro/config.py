@@ -129,6 +129,13 @@ class EngineConfig:
     #: Rows per batch on the batch execution path.  Operators may yield
     #: slightly larger batches (scans round up to page boundaries).
     batch_size: int = 1024
+    #: Whether :meth:`Database.execute` serves repeated statements from the
+    #: statistics-epoch plan cache.  Disabling forces cold preparation on
+    #: every call; results and simulated-cost profiles are identical either
+    #: way (only wall-clock latency differs).
+    plan_cache_enabled: bool = True
+    #: Capacity of the plan cache (exact + parametric entries combined).
+    plan_cache_size: int = 128
     #: Deterministic seed for sampling/sketches inside the engine.
     seed: int = 0x5EED
 
@@ -154,6 +161,10 @@ class EngineConfig:
             )
         if self.batch_size <= 0:
             raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
+        if self.plan_cache_size <= 0:
+            raise ConfigError(
+                f"plan_cache_size must be positive, got {self.plan_cache_size}"
+            )
 
     def with_updates(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this configuration with ``changes`` applied."""

@@ -26,12 +26,30 @@ This module implements that hybrid:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..config import EngineConfig
 from ..errors import OptimizerError
-from ..plans.logical import LogicalQuery
-from ..plans.physical import PlanNode
+from ..plans.logical import (
+    LogicalQuery,
+    parameter_names,
+    substitute_output,
+    substitute_predicate,
+    substitute_query,
+)
+from ..plans.physical import (
+    BlockNLJoinNode,
+    FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
+    IndexNLJoinNode,
+    IndexScanNode,
+    PlanNode,
+    ProjectNode,
+    fresh_node_id,
+)
 from ..stats.estimator import Estimator, profile_from_table_stats
 from ..storage.catalog import Catalog
 from ..optimizer.optimizer import Optimizer
@@ -123,6 +141,85 @@ class ParametricOptimizer:
         return result
 
 
+class _MaskedParameter:
+    """Sentinel rendering as ``:name`` so masked queries deparse to
+    placeholder SQL — the value-independent text the plan cache keys
+    parametric entries by."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+
+def mask_parameters(query: LogicalQuery) -> LogicalQuery:
+    """Replace every parameter-born constant with a ``:name`` placeholder.
+
+    The result deparses to SQL text that is identical for every parameter
+    binding of the same statement; it is *not* executable.
+    """
+    names = parameter_names(query)
+    if not names:
+        return query
+    return substitute_query(query, {n: _MaskedParameter(n) for n in names})
+
+
+def plug_parameters(plan: PlanNode, values: Mapping[str, object]) -> PlanNode:
+    """Clone ``plan`` with fresh host-variable values plugged in.
+
+    A cached scenario plan embeds the parameter values it was first bound
+    with: filter/residual predicates carry them as constants and index scans
+    derive their key ranges from them.  Executing the plan for a new binding
+    therefore clones the tree and rebuilds exactly those value-dependent
+    pieces; nodes whose predicates change also drop their compiled-closure
+    cache (the closures captured the old constants), while untouched nodes
+    keep sharing the template's compiled closures.
+    """
+    new = copy.copy(plan)
+    new.node_id = fresh_node_id()
+    new.children = tuple(plug_parameters(c, values) for c in plan.children)
+    new.est = plan.est.copy()
+    changed = False
+
+    def _sub_preds(preds):
+        nonlocal changed
+        fresh = tuple(substitute_predicate(p, values) for p in preds)
+        if any(a is not b for a, b in zip(fresh, preds)):
+            changed = True
+        return fresh
+
+    if isinstance(new, FilterNode):
+        new.predicates = _sub_preds(new.predicates)
+    elif isinstance(new, IndexScanNode):
+        new.bound_predicates = _sub_preds(new.bound_predicates)
+        if changed:
+            from ..optimizer.access_paths import sargable_bound
+
+            qualified = f"{new.alias}.{new.index_column}"
+            bound = sargable_bound(new.bound_predicates, qualified)
+            new.low, new.high = bound.low, bound.high
+            new.low_inclusive = bound.low_inclusive
+            new.high_inclusive = bound.high_inclusive
+    elif isinstance(new, HashJoinNode):
+        new.residual = _sub_preds(new.residual)
+    elif isinstance(new, BlockNLJoinNode):
+        new.predicates = _sub_preds(new.predicates)
+    elif isinstance(new, IndexNLJoinNode):
+        new.residual = _sub_preds(new.residual)
+    elif isinstance(new, (ProjectNode, HashAggregateNode)):
+        output = tuple(substitute_output(i, values) for i in new.output)
+        if any(a is not b for a, b in zip(output, new.output)):
+            changed = True
+        new.output = output
+
+    if changed:
+        new._compiled = {}
+    return new
+
+
 def actual_parameter_selectivity(
     query: LogicalQuery, catalog: Catalog
 ) -> float:
@@ -153,19 +250,24 @@ def actual_parameter_selectivity(
 
 
 def choose_plan(
-    parametric: ParametricPlan, catalog: Catalog
+    parametric: ParametricPlan, catalog: Catalog, query: LogicalQuery | None = None
 ) -> tuple[Scenario, float]:
     """Pick the scenario closest to the observed parameter selectivity.
 
     This is the run-time decision step: the parameter values are known at
     execution start, so the anticipated case nearest to the estimated
     selectivity wins (log-distance, since selectivities span decades).
+
+    ``query`` overrides the scenario set's stored query: a prepared
+    statement re-executed with fresh parameter values passes its freshly
+    bound query so the choice reflects the *current* values rather than the
+    ones the scenario set was first built from.
     """
     import math
 
     if not parametric.scenarios:
         raise OptimizerError("parametric plan has no scenarios")
-    actual = actual_parameter_selectivity(parametric.query, catalog)
+    actual = actual_parameter_selectivity(query or parametric.query, catalog)
     floor = 1e-6
 
     def distance(scenario: Scenario) -> float:

@@ -1,7 +1,17 @@
 """Engine facade: the public Database API."""
 
 from .database import Database
-from .profile import ExecutionProfile
+from .plan_cache import PlanCache, PlanCacheStats
+from .prepared import PreparedStatement
+from .profile import ExecutionProfile, PhaseBreakdown
 from .results import QueryResult
 
-__all__ = ["Database", "ExecutionProfile", "QueryResult"]
+__all__ = [
+    "Database",
+    "ExecutionProfile",
+    "PhaseBreakdown",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedStatement",
+    "QueryResult",
+]

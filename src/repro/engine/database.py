@@ -19,6 +19,8 @@ Typical usage::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..config import EngineConfig
@@ -27,6 +29,8 @@ from ..core.parametric import (
     ParametricOptimizer,
     choose_plan,
     has_parameter_predicates,
+    mask_parameters,
+    plug_parameters,
 )
 from ..core.reoptimizer import DynamicReoptimizer
 from ..core.scia import SciaResult, insert_collectors
@@ -38,9 +42,11 @@ from ..optimizer.calibration import OptimizerCalibration
 from ..optimizer.cost_model import CostModel
 from ..optimizer.optimizer import Optimizer
 from ..plans.logical import LogicalQuery
-from ..plans.physical import PlanNode
+from ..plans.physical import PlanNode, clone_plan
 from ..plans.printer import explain as explain_plan
+from ..sql.ast import AstSelect
 from ..sql.binder import bind
+from ..sql.deparser import deparse
 from ..sql.parser import parse
 from ..stats.estimator import Estimator
 from ..stats.histogram import HistogramKind
@@ -50,10 +56,35 @@ from ..storage.disk import CostClock
 from ..storage.schema import Column, DataType, Schema
 from ..storage.table import Row, Table
 from ..storage.temp import TempTableManager
-from .profile import ExecutionProfile
+from .plan_cache import CachedPlan, CachedScenarios, PlanCache, parameter_signature
+from .prepared import PreparedStatement
+from .profile import ExecutionProfile, PhaseBreakdown
 from .results import QueryResult
 
 ColumnSpec = Column | tuple[str, DataType]
+
+
+@dataclass
+class PreparedExecution:
+    """Everything the execution pipeline needs, ready to run.
+
+    Produced by :meth:`Database._prepare` — the single preparation path
+    shared by :meth:`Database.execute`, :meth:`Database.plan`,
+    :meth:`Database.explain` and prepared statements, so EXPLAIN output and
+    executed plans can never diverge on the same SQL.  ``plan`` is always
+    safe to execute directly: it is either freshly optimized or a clone of a
+    cached template.
+    """
+
+    query: LogicalQuery
+    plan: PlanNode
+    scia: SciaResult | None
+    optimizer: Optimizer
+    cache_hit: bool = False
+    parametric_plans: int = 0
+    parametric_choice: str = ""
+    #: Wall-clock seconds per preparation phase (parse/bind/optimize/scia).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class Database:
@@ -69,6 +100,7 @@ class Database:
         self.catalog = Catalog(self.config.page_size)
         self.calibration = calibration or OptimizerCalibration()
         self.estimator = Estimator()
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
         self._udfs: dict[str, Callable] = {}
 
     # -- DDL / loading ------------------------------------------------------
@@ -93,6 +125,9 @@ class Database:
         count = self.catalog.table(table_name).append_rows(rows)
         for index in self.catalog.indexes_for(table_name):
             index.rebuild()
+        if count and not self.catalog.table(table_name).is_temporary:
+            # New data makes every cached plan's estimates suspect.
+            self.catalog.bump_stats_epoch()
         return count
 
     def create_index(
@@ -123,6 +158,9 @@ class Database:
     def register_udf(self, name: str, fn: Callable) -> None:
         """Register a scalar user-defined function usable in SQL."""
         self._udfs[name.lower()] = fn
+        # Cached plans embed bind-time function references; redefining a UDF
+        # (or shadowing a builtin) must not serve plans calling the old one.
+        self.plan_cache.clear()
 
     # -- querying -----------------------------------------------------------
 
@@ -132,21 +170,181 @@ class Database:
         """Parse and bind a SQL statement without executing it."""
         return bind(parse(sql), self.catalog, udfs=self._udfs, params=params)
 
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare a statement for repeated execution.
+
+        The SQL is parsed eagerly; optimization products are cached in the
+        plan cache on first execution and reused (modulo statistics-epoch
+        invalidation) by every later one.  Host-variable statements share
+        one parametric scenario set across all parameter bindings.
+        """
+        return PreparedStatement(self, sql)
+
+    def _prepare(
+        self,
+        sql: str,
+        ast: AstSelect | None = None,
+        params: Mapping[str, object] | None = None,
+        mode: DynamicMode = DynamicMode.FULL,
+        execution_mode: str | None = None,
+        parametric: bool = False,
+        use_cache: bool = True,
+    ) -> PreparedExecution:
+        """The single preparation path: parse, bind, optimize, SCIA — cached.
+
+        Returns a :class:`PreparedExecution` whose plan is safe to execute
+        (never a cached template itself).  ``use_cache=False`` re-does every
+        phase from scratch without touching the cache, which is what
+        :meth:`plan` defaults to so timing-sensitive callers (the optimizer
+        calibration procedure) always observe cold optimization.
+        """
+        phases: dict[str, float] = {}
+        t0 = perf_counter()
+        if ast is None:
+            ast = parse(sql)
+        t1 = perf_counter()
+        phases["parse"] = t1 - t0
+        query = bind(ast, self.catalog, udfs=self._udfs, params=params)
+        t2 = perf_counter()
+        phases["bind"] = t2 - t1
+
+        use_cache = use_cache and self.config.plan_cache_enabled
+        epoch = self.catalog.stats_epoch
+        exec_mode = execution_mode or self.config.execution_mode
+
+        if parametric and has_parameter_predicates(query):
+            return self._prepare_parametric(
+                query, params, mode, epoch, use_cache, phases
+            )
+
+        key = None
+        entry: CachedPlan | None = None
+        if use_cache:
+            key = PlanCache.exact_key(
+                deparse(query), parameter_signature(params), mode.value, exec_mode
+            )
+            entry = self.plan_cache.lookup(key, epoch)
+
+        optimizer = Optimizer(self.catalog, self.config, estimator=self.estimator)
+        if entry is not None:
+            plan = clone_plan(entry.plan)
+            scia_result = entry.scia
+            # The cached plan stands in for one optimizer run; profiles stay
+            # identical to a cold execution (only wall-clock time improves).
+            optimizer.invocations += 1
+            phases["optimize"] = perf_counter() - t2
+            phases["scia"] = 0.0
+            return PreparedExecution(
+                query=query,
+                plan=plan,
+                scia=scia_result,
+                optimizer=optimizer,
+                cache_hit=True,
+                phase_seconds=phases,
+            )
+
+        plan = optimizer.optimize(query)
+        t3 = perf_counter()
+        phases["optimize"] = t3 - t2
+        scia_result: SciaResult | None = None
+        if mode.collects_statistics:
+            scia_result = insert_collectors(plan, self.catalog, self.config)
+            optimizer.annotator().annotate(plan)
+        phases["scia"] = perf_counter() - t3
+        if use_cache and key is not None:
+            self.plan_cache.store(
+                key, CachedPlan(query=query, plan=plan, scia=scia_result, epoch=epoch)
+            )
+            # Execution mutates plans in place; keep the template pristine.
+            plan = clone_plan(plan)
+        return PreparedExecution(
+            query=query,
+            plan=plan,
+            scia=scia_result,
+            optimizer=optimizer,
+            phase_seconds=phases,
+        )
+
+    def _prepare_parametric(
+        self,
+        query: LogicalQuery,
+        params: Mapping[str, object] | None,
+        mode: DynamicMode,
+        epoch: int,
+        use_cache: bool,
+        phases: dict[str, float],
+    ) -> PreparedExecution:
+        """Parametric (section 4 hybrid) preparation with scenario-set reuse.
+
+        Scenario plan *structure* is independent of the parameter values (the
+        scenario estimator deliberately ignores them), so the expensive
+        multi-scenario optimization is cached under the parameter-masked SQL
+        and shared by every binding; per execution only the cheap
+        ``choose_plan`` selection, value plugging and annotation remain.
+        """
+        t2 = perf_counter()
+        key = None
+        cache_hit = False
+        scenarios = None
+        if use_cache:
+            key = PlanCache.parametric_key(deparse(mask_parameters(query)))
+            entry = self.plan_cache.lookup(key, epoch)
+            if entry is not None:
+                scenarios = entry.parametric
+                cache_hit = True
+        if scenarios is None:
+            scenarios = ParametricOptimizer(self.catalog, self.config).optimize(query)
+            if use_cache and key is not None:
+                self.plan_cache.store(
+                    key, CachedScenarios(parametric=scenarios, epoch=epoch)
+                )
+        # The run-time decision step: pick the anticipated case closest to
+        # the estimated selectivity of the *current* parameter values.
+        scenario, actual = choose_plan(scenarios, self.catalog, query=query)
+        plan = plug_parameters(scenario.plan, params or {})
+        # Execution-time estimates use the now-known parameter values.
+        estimator = Estimator(use_parameter_values=True)
+        optimizer = Optimizer(self.catalog, self.config, estimator=estimator)
+        optimizer.invocations += 1
+        optimizer.annotator().annotate(plan)
+        t3 = perf_counter()
+        phases["optimize"] = t3 - t2
+        scia_result: SciaResult | None = None
+        if mode.collects_statistics:
+            scia_result = insert_collectors(plan, self.catalog, self.config)
+        phases["scia"] = perf_counter() - t3
+        return PreparedExecution(
+            query=query,
+            plan=plan,
+            scia=scia_result,
+            optimizer=optimizer,
+            cache_hit=cache_hit,
+            parametric_plans=scenarios.plan_count,
+            parametric_choice=(
+                f"chose {scenario.describe()} for observed sel~{actual:.3f} "
+                f"out of {scenarios.plan_count} plan(s)"
+            ),
+            phase_seconds=phases,
+        )
+
     def plan(
         self,
         sql: str,
         params: Mapping[str, object] | None = None,
         mode: DynamicMode = DynamicMode.FULL,
+        use_cache: bool = False,
     ) -> tuple[PlanNode, SciaResult | None, Optimizer]:
-        """Optimize a statement, optionally inserting statistics collectors."""
-        query = self.bind_sql(sql, params)
-        optimizer = Optimizer(self.catalog, self.config, estimator=self.estimator)
-        plan = optimizer.optimize(query)
-        scia_result = None
-        if mode.collects_statistics:
-            scia_result = insert_collectors(plan, self.catalog, self.config)
-            optimizer.annotator().annotate(plan)
-        return plan, scia_result, optimizer
+        """Optimize a statement, optionally inserting statistics collectors.
+
+        ``use_cache`` defaults to off so callers that *measure* optimization
+        (the calibration procedure) or inspect fresh plans always pay the
+        full cost; pass ``True`` to observe exactly what a warm
+        :meth:`execute` would run.
+        """
+        prepared = self._prepare(
+            sql, params=params, mode=mode, use_cache=use_cache
+        )
+        return prepared.plan, prepared.scia, prepared.optimizer
 
     def explain(
         self,
@@ -178,8 +376,58 @@ class Database:
         ``execution_mode`` overrides :attr:`EngineConfig.execution_mode`
         (``"row"`` or ``"batch"``) for this query only; both paths yield
         identical rows, cost-clock charges and observed statistics.
+
+        Preparation (parse/bind/optimize/SCIA) goes through the plan cache:
+        repeats of the same statement under an unchanged statistics epoch
+        reuse the cached plan.  Simulated-cost profiles are identical warm
+        or cold — the cost clock is always charged one calibrated
+        optimization — so only wall-clock latency changes; see
+        :attr:`ExecutionProfile.phases` and
+        :attr:`ExecutionProfile.plan_cache_hit`.
         """
-        query = self.bind_sql(sql, params)
+        prepared = self._prepare(
+            sql,
+            params=params,
+            mode=mode,
+            execution_mode=execution_mode,
+            parametric=parametric,
+        )
+        return self._run(prepared, sql, mode, memory_budget_pages, execution_mode)
+
+    def _execute_prepared(
+        self,
+        sql: str,
+        ast: AstSelect,
+        params: Mapping[str, object] | None,
+        mode: DynamicMode,
+        memory_budget_pages: int | None,
+        parametric: bool,
+        execution_mode: str | None,
+    ) -> QueryResult:
+        """Execution entry point for :class:`PreparedStatement`."""
+        prepared = self._prepare(
+            sql,
+            ast=ast,
+            params=params,
+            mode=mode,
+            execution_mode=execution_mode,
+            parametric=parametric,
+        )
+        return self._run(prepared, sql, mode, memory_budget_pages, execution_mode)
+
+    def _run(
+        self,
+        prepared: PreparedExecution,
+        sql: str,
+        mode: DynamicMode,
+        memory_budget_pages: int | None = None,
+        execution_mode: str | None = None,
+    ) -> QueryResult:
+        """Run a prepared execution through the dynamic-re-optimization loop."""
+        query = prepared.query
+        plan = prepared.plan
+        optimizer = prepared.optimizer
+        scia_result = prepared.scia
         run_config = self.config
         if execution_mode is not None:
             run_config = self.config.with_updates(execution_mode=execution_mode)
@@ -189,41 +437,10 @@ class Database:
         buffer_pool = BufferPool(self.config.buffer_pool_pages, clock)
         temp_manager = TempTableManager(self.catalog, buffer_pool)
         cost_model = CostModel(self.config)
-
-        parametric_choice = ""
-        parametric_plans = 0
-        if parametric and has_parameter_predicates(query):
-            # Scenario plans are produced at compile time (stored with the
-            # query); only the cheap run-time *choice* happens here, so the
-            # execution clock is charged a single optimization like the
-            # conventional path.
-            scenarios = ParametricOptimizer(self.catalog, self.config).optimize(query)
-            scenario, actual = choose_plan(scenarios, self.catalog)
-            parametric_plans = scenarios.plan_count
-            parametric_choice = (
-                f"chose {scenario.describe()} for observed sel~{actual:.3f} "
-                f"out of {scenarios.plan_count} plan(s)"
-            )
-            clock.charge_optimizer(
-                self.calibration.estimated_units(len(query.relations))
-            )
-            # Execution-time estimates use the now-known parameter values.
-            estimator = Estimator(use_parameter_values=True)
-            optimizer = Optimizer(self.catalog, self.config, estimator=estimator)
-            optimizer.invocations += 1
-            plan = scenario.plan
-            optimizer.annotator().annotate(plan)
-        else:
-            optimizer = Optimizer(self.catalog, self.config, estimator=self.estimator)
-            # Initial optimization is charged like any other (calibrated).
-            clock.charge_optimizer(
-                self.calibration.estimated_units(len(query.relations))
-            )
-            plan = optimizer.optimize(query)
-
-        scia_result: SciaResult | None = None
-        if mode.collects_statistics:
-            scia_result = insert_collectors(plan, self.catalog, self.config)
+        # One calibrated optimization is charged whether the plan came from
+        # the optimizer or the cache: the simulated timeline models a system
+        # that optimized this query once, keeping profiles deterministic.
+        clock.charge_optimizer(self.calibration.estimated_units(len(query.relations)))
 
         budget = memory_budget_pages or self.config.query_memory_pages
         memory_manager = MemoryManager(budget)
@@ -257,16 +474,19 @@ class Database:
             ctx.controller = controller
 
         dispatcher = Dispatcher(ctx)
+        t_exec = perf_counter()
         try:
             outcome = dispatcher.run(plan)
         finally:
             temp_manager.drop_all()
+        execute_s = perf_counter() - t_exec
 
+        seconds = prepared.phase_seconds
         profile = ExecutionProfile(
             sql=sql,
             mode=mode.value,
-            parametric_plan_count=parametric_plans,
-            parametric_choice=parametric_choice,
+            parametric_plan_count=prepared.parametric_plans,
+            parametric_choice=prepared.parametric_choice,
             total_cost=clock.now,
             breakdown=clock.breakdown.snapshot(),
             buffer=buffer_pool.stats,
@@ -279,6 +499,14 @@ class Database:
             statistics_kept=len(scia_result.kept) if scia_result else 0,
             statistics_dropped=len(scia_result.dropped) if scia_result else 0,
             statistics_budget=scia_result.budget if scia_result else 0.0,
+            phases=PhaseBreakdown(
+                parse_s=seconds.get("parse", 0.0),
+                bind_s=seconds.get("bind", 0.0),
+                optimize_s=seconds.get("optimize", 0.0),
+                scia_s=seconds.get("scia", 0.0),
+                execute_s=execute_s,
+            ),
+            plan_cache_hit=prepared.cache_hit,
             events=list(controller.events) if controller else [],
             plan_explanations=[explain_plan(p) for p in outcome.plan_history],
             remainder_sqls=[

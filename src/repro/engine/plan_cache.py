@@ -1,0 +1,177 @@
+"""The statistics-epoch plan cache.
+
+PR 1's batch executor made execution fast enough that end-to-end latency on
+complex queries is dominated by compile-time work: parse, bind, DP join
+enumeration, SCIA collector placement and predicate compilation were re-done
+from scratch on every :meth:`repro.engine.Database.execute` call.  This
+module caches the products of that work so repeated statements pay it once.
+
+Two kinds of entry live in one LRU map:
+
+* **Exact entries** — keyed by the *normalized* SQL text (the bound query
+  deparsed back to canonical SQL, so formatting, alias qualification and
+  literal spelling all collapse), the parameter signature, the
+  :class:`~repro.core.modes.DynamicMode` and the execution mode.  They hold
+  the bound query, the optimized annotated plan with statistics collectors
+  already spliced, and the SCIA result.  Served plans are **cloned**
+  (:func:`repro.plans.physical.clone_plan`) before execution: the SCIA, the
+  annotation passes and mid-query plan switches all mutate plans in place,
+  so the cached template itself is never executed.
+
+* **Parametric entries** — keyed by the *parameter-masked* normalized SQL
+  (host-variable constants rendered as ``:name`` placeholders), holding a
+  :class:`~repro.core.parametric.ParametricPlan` scenario set.  Scenario
+  plan *structure* is parameter-value independent (the scenario estimator
+  deliberately ignores the values), so one entry serves every binding of the
+  statement; per execution only the cheap ``choose_plan`` selection and
+  value plugging remain.
+
+Every entry is stamped with the catalog's statistics epoch
+(:attr:`repro.storage.catalog.Catalog.stats_epoch`) at optimization time.
+``ANALYZE``, data loads, index DDL, table DDL, injected statistics and
+mid-query re-optimization feedback all bump the epoch, and a lookup whose
+entry carries an older epoch is treated as a miss (and counted as an
+invalidation) — a stale plan is never served after the engine has learned
+better estimates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.scia import SciaResult
+from ..plans.logical import LogicalQuery
+from ..plans.physical import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.parametric import ParametricPlan
+
+#: Default number of cached entries (exact + parametric combined).
+DEFAULT_CAPACITY = 128
+
+
+def parameter_signature(params: Mapping[str, object] | None) -> tuple:
+    """A hashable fingerprint of one parameter binding (names, types, values)."""
+    if not params:
+        return ()
+    return tuple(
+        (name, type(value).__name__, repr(value))
+        for name, value in sorted(params.items(), key=lambda kv: kv[0])
+    )
+
+
+@dataclass
+class CachedPlan:
+    """One exact entry: everything :meth:`Database.execute` needs pre-done."""
+
+    query: LogicalQuery
+    plan: PlanNode
+    scia: SciaResult | None
+    epoch: int
+
+
+@dataclass
+class CachedScenarios:
+    """One parametric entry: a reusable scenario set for a statement."""
+
+    parametric: "ParametricPlan"
+    epoch: int
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/invalidation counters, exposed on profiles and in tests."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def snapshot(self) -> "PlanCacheStats":
+        """An immutable copy for profiles/reports."""
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+            evictions=self.evictions,
+            stores=self.stores,
+        )
+
+
+class PlanCache:
+    """LRU map of prepared-query entries with statistics-epoch invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[tuple, CachedPlan | CachedScenarios]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @staticmethod
+    def exact_key(
+        normalized_sql: str,
+        param_signature: tuple,
+        mode_value: str,
+        execution_mode: str,
+    ) -> tuple:
+        """Key for a fully bound statement."""
+        return ("exact", normalized_sql, param_signature, mode_value, execution_mode)
+
+    @staticmethod
+    def parametric_key(masked_sql: str) -> tuple:
+        """Key for a parametric scenario set (mode/value independent)."""
+        return ("parametric", masked_sql)
+
+    def lookup(self, key: tuple, epoch: int):
+        """The live entry under ``key``, or None.
+
+        Entries stamped with an older statistics epoch are dropped and
+        counted as invalidations (as well as misses); a hit refreshes the
+        entry's LRU position.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: tuple, entry: "CachedPlan | CachedScenarios") -> None:
+        """Insert (or replace) an entry, evicting the LRU tail if needed."""
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

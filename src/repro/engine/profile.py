@@ -15,6 +15,45 @@ from ..storage.buffer import BufferStats
 from ..storage.disk import CostBreakdown
 
 
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Real (wall-clock) seconds spent in each phase of one execution.
+
+    Unlike every other field of the profile — which reports the *simulated*
+    cost clock — these are ``time.perf_counter`` measurements.  They exist
+    to make compile-time overhead visible: after PR 1's batch executor,
+    complex queries spend several times longer in parse/bind/optimize/SCIA
+    than in actual execution, which is exactly what the plan cache and
+    prepared statements eliminate on warm paths.
+    """
+
+    parse_s: float = 0.0
+    bind_s: float = 0.0
+    optimize_s: float = 0.0
+    scia_s: float = 0.0
+    execute_s: float = 0.0
+
+    @property
+    def compile_s(self) -> float:
+        """Everything before execution starts."""
+        return self.parse_s + self.bind_s + self.optimize_s + self.scia_s
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end wall-clock seconds."""
+        return self.compile_s + self.execute_s
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain dict for JSON benchmark documents."""
+        return {
+            "parse_s": self.parse_s,
+            "bind_s": self.bind_s,
+            "optimize_s": self.optimize_s,
+            "scia_s": self.scia_s,
+            "execute_s": self.execute_s,
+        }
+
+
 @dataclass
 class ExecutionProfile:
     """Cost accounting and event history for one executed query."""
@@ -37,6 +76,10 @@ class ExecutionProfile:
     #: plans existed and which was chosen (empty when not used).
     parametric_plan_count: int = 0
     parametric_choice: str = ""
+    #: Wall-clock per-phase breakdown (parse/bind/optimize/scia/execute).
+    phases: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    #: Whether the plan (or scenario set) was served from the plan cache.
+    plan_cache_hit: bool = False
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
@@ -58,6 +101,11 @@ class ExecutionProfile:
             f"reallocations={self.memory_reallocations} "
             f"collectors={self.collectors_inserted} "
             f"stats kept/dropped={self.statistics_kept}/{self.statistics_dropped}",
+            f"wall: compile={self.phases.compile_s * 1e3:.2f}ms "
+            f"(parse={self.phases.parse_s * 1e3:.2f}, bind={self.phases.bind_s * 1e3:.2f}, "
+            f"optimize={self.phases.optimize_s * 1e3:.2f}, scia={self.phases.scia_s * 1e3:.2f}) "
+            f"execute={self.phases.execute_s * 1e3:.2f}ms "
+            f"cache={'hit' if self.plan_cache_hit else 'miss'}",
         ]
         for event in self.events:
             lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")

@@ -60,10 +60,9 @@ from .iterators import (
     execute_node,
     hash_join_keys,
     key_extractor,
-    projector,
 )
 from .runtime import PlanSwitched, RuntimeContext
-from .vector import compile_batch_filter
+from .vector import compile_batch_filter, compile_batch_projector
 
 Batch = list
 
@@ -178,12 +177,15 @@ def _filter(node: FilterNode, ctx: RuntimeContext) -> BatchIterator:
 
 
 def _project(node: ProjectNode, ctx: RuntimeContext) -> BatchIterator:
-    project_row = projector(node)
+    batch_project = node.compiled(
+        "batch_project",
+        lambda: compile_batch_projector(node.output, node.child.schema),
+    )
     consumed = 0
     try:
         for batch in execute_node_batches(node.child, ctx):
             consumed += len(batch)
-            yield list(map(project_row, batch))
+            yield batch_project(batch)
     finally:
         ctx.clock.charge_cpu(consumed * ctx.cost_model.params.cpu_per_tuple)
 

@@ -19,10 +19,20 @@ Semantics parity with the closure path is structural: the rendered
 expression performs the same comparisons on the same operands in the same
 order (``and`` chains mirror ``all(...)`` short-circuiting, ``or`` mirrors
 ``any(...)``), so rows pass or fail identically.
+
+Because constants live in namespace cells, the rendered *source* depends
+only on the expression structure and the column positions — not on the
+constant values.  Two queries filtering ``l.shipdate < :d`` against the
+same schema therefore render byte-identical source, and ``compile()`` of
+that source is served from a small cross-query code-object cache
+(:data:`code_cache_stats` exposes hits/misses); only the cheap ``exec`` of
+the pre-compiled ``def`` with fresh cells runs per plan node.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from types import CodeType
 from typing import Callable, Sequence
 
 from ..plans.logical import (
@@ -35,11 +45,38 @@ from ..plans.logical import (
     InPredicate,
     NegExpr,
     NotPredicate,
+    AggregateExpr,
     OrPredicate,
+    OutputColumn,
     Predicate,
     ScalarExpr,
 )
+from ..errors import ExecutionError
 from ..storage.schema import Schema
+
+#: Cross-query cache of compiled code objects, keyed by source text.
+_CODE_CACHE: "OrderedDict[str, CodeType]" = OrderedDict()
+_CODE_CACHE_CAPACITY = 512
+
+#: Observability counters for the code-object cache (tests, benchmarks).
+code_cache_stats = {"hits": 0, "misses": 0}
+
+
+def _instantiate(source: str, filename: str, fn_name: str, cells: dict) -> Callable:
+    """Exec ``source`` (compiled once per distinct text) with ``cells`` bound."""
+    code = _CODE_CACHE.get(source)
+    if code is not None:
+        _CODE_CACHE.move_to_end(source)
+        code_cache_stats["hits"] += 1
+    else:
+        code_cache_stats["misses"] += 1
+        code = compile(source, filename, "exec")
+        _CODE_CACHE[source] = code
+        while len(_CODE_CACHE) > _CODE_CACHE_CAPACITY:
+            _CODE_CACHE.popitem(last=False)
+    namespace = dict(cells)
+    exec(code, namespace)  # noqa: S102
+    return namespace[fn_name]
 
 #: Python source text for each comparison operator.
 _OP_TEXT = {
@@ -116,6 +153,24 @@ def compile_batch_filter(
         f"({_render_predicate(p, schema, ns)})" for p in predicates
     )
     source = f"def _batch_filter(batch):\n    return [r for r in batch if {condition}]"
-    namespace = dict(ns.cells)
-    exec(compile(source, "<batch-filter>", "exec"), namespace)  # noqa: S102
-    return namespace["_batch_filter"]
+    return _instantiate(source, "<batch-filter>", "_batch_filter", ns.cells)
+
+
+def compile_batch_projector(
+    output: Sequence[OutputColumn], schema: Schema
+) -> Callable[[list], list]:
+    """A function mapping a row batch to its projected output rows.
+
+    Renders the whole projection as one tuple-building list comprehension —
+    ``[(r[3], (r[1] * _k0)) for r in batch]`` — so no per-row Python call
+    remains, matching the row path's per-item expression semantics exactly.
+    """
+    ns = _Namespace()
+    parts = []
+    for item in output:
+        if isinstance(item.expr, AggregateExpr):
+            raise ExecutionError("aggregate reached a batch projector")
+        parts.append(_render_expr(item.expr, schema, ns))
+    row = f"({parts[0]},)" if len(parts) == 1 else "(" + ", ".join(parts) + ")"
+    source = f"def _batch_project(batch):\n    return [{row} for r in batch]"
+    return _instantiate(source, "<batch-project>", "_batch_project", ns.cells)

@@ -42,8 +42,44 @@ class JoinEnumerator:
         self.catalog = catalog
         self.annotator = annotator
         self.aliases = [rel.alias for rel in query.relations]
+        #: Memoized best access path per alias.  ``_join_candidates`` needs
+        #: the leaf for the newly added relation at every one of the
+        #: O(n * 2^n) DP extension steps; the leaf only depends on the
+        #: relation and its selection predicates, so it is computed once.
+        self._leaf_cache: dict[str, PlanNode] = {}
+        #: Memoized per-alias selection predicates (scanned from the full
+        #: predicate list otherwise — quadratic in practice).
+        self._selection_cache: dict[str, list[Predicate]] = {}
 
     # ------------------------------------------------------------------
+
+    def _selection_predicates(self, alias: str) -> list[Predicate]:
+        """Cached ``query.selection_predicates(alias)``."""
+        preds = self._selection_cache.get(alias)
+        if preds is None:
+            preds = self._selection_cache[alias] = list(
+                self.query.selection_predicates(alias)
+            )
+        return preds
+
+    def _leaf(self, alias: str) -> PlanNode:
+        """Cached best access path for one relation.
+
+        Sharing the node object across candidate joins mirrors how DP
+        already shares best sub-plans: enumeration never mutates children,
+        and each alias appears at most once in the final left-deep tree, so
+        the winning plan contains each shared leaf exactly once.
+        """
+        leaf = self._leaf_cache.get(alias)
+        if leaf is None:
+            relation = self.query.relation_for_alias(alias)
+            leaf = self._leaf_cache[alias] = best_access_path(
+                relation,
+                self._selection_predicates(alias),
+                self.catalog,
+                self.annotator,
+            )
+        return leaf
 
     def best_join_plan(self) -> PlanNode:
         """The cheapest left-deep join plan covering every relation."""
@@ -51,21 +87,19 @@ class JoinEnumerator:
             raise OptimizerError("query has no relations")
         best: dict[frozenset[str], PlanNode] = {}
         for relation in self.query.relations:
-            leaf = best_access_path(
-                relation,
-                self.query.selection_predicates(relation.alias),
-                self.catalog,
-                self.annotator,
-            )
-            best[frozenset({relation.alias})] = leaf
+            best[frozenset({relation.alias})] = self._leaf(relation.alias)
         if len(self.aliases) == 1:
             return best[frozenset(self.aliases)]
 
         all_aliases = frozenset(self.aliases)
         for size in range(2, len(self.aliases) + 1):
             for subset in _subsets(self.aliases, size):
-                candidates: list[PlanNode] = []
-                connected: list[PlanNode] = []
+                # Dominated candidates are pruned as they are produced
+                # (strict < keeps the first-minimal tie-breaking of the
+                # previous list-then-min formulation) instead of being
+                # accumulated and scanned again.
+                best_connected: PlanNode | None = None
+                best_any: PlanNode | None = None
                 for alias in subset:
                     rest = subset - {alias}
                     left = best.get(rest)
@@ -77,13 +111,17 @@ class JoinEnumerator:
                         # path) are already annotated; only the new join
                         # node needs costing.
                         self.annotator.annotate_node(plan)
-                        candidates.append(plan)
-                        if is_connected:
-                            connected.append(plan)
-                pool = connected if connected else candidates
-                if not pool:
-                    continue
-                best[subset] = min(pool, key=lambda p: p.est.total_cost)
+                        cost = plan.est.total_cost
+                        if is_connected and (
+                            best_connected is None
+                            or cost < best_connected.est.total_cost
+                        ):
+                            best_connected = plan
+                        if best_any is None or cost < best_any.est.total_cost:
+                            best_any = plan
+                winner = best_connected if best_connected is not None else best_any
+                if winner is not None:
+                    best[subset] = winner
         plan = best.get(all_aliases)
         if plan is None:
             raise OptimizerError("join enumeration failed to cover all relations")
@@ -106,12 +144,7 @@ class JoinEnumerator:
         )
         candidates: list[tuple[PlanNode, bool]] = []
 
-        right = best_access_path(
-            relation,
-            self.query.selection_predicates(new_alias),
-            self.catalog,
-            self.annotator,
-        )
+        right = self._leaf(new_alias)
 
         if key_pairs:
             left_keys = [pair[0] for pair in key_pairs]
@@ -133,7 +166,7 @@ class JoinEnumerator:
                 if index is None:
                     continue
                 inl_residual = list(residual)
-                inl_residual.extend(self.query.selection_predicates(new_alias))
+                inl_residual.extend(self._selection_predicates(new_alias))
                 other_pairs = [
                     pair for pair in key_pairs if pair != (outer_col, inner_col)
                 ]

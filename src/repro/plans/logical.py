@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import BindError
 from ..storage.schema import Column, DataType, Schema
@@ -120,9 +120,17 @@ class ColumnExpr(ScalarExpr):
 
 @dataclass(frozen=True)
 class ConstExpr(ScalarExpr):
-    """A literal constant (int, float or string)."""
+    """A literal constant (int, float or string).
+
+    ``param`` records the host-variable name (``:name``) the value was
+    substituted from, when there was one.  Prepared statements use it to
+    *re-plug* fresh parameter values into a cached plan, and the plan cache
+    uses it to render a value-independent cache key for parameterised
+    queries; it does not participate in equality.
+    """
 
     value: object
+    param: str | None = field(default=None, compare=False)
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -549,6 +557,143 @@ class LogicalQuery:
         from ..sql.deparser import deparse  # local import avoids a cycle
 
         return deparse(self)
+
+
+# ----------------------------------------------------------------------
+# Host-variable substitution
+# ----------------------------------------------------------------------
+
+
+def substitute_expr(expr: ScalarExpr, values: Mapping[str, object]) -> ScalarExpr:
+    """Rebuild ``expr`` with parameter-born constants replaced from ``values``.
+
+    Constants carrying a :attr:`ConstExpr.param` name found in ``values`` get
+    the mapped value; everything else is returned unchanged (identity-
+    preserved, so callers can detect whether anything was substituted with
+    an ``is`` check).
+    """
+    if isinstance(expr, ConstExpr):
+        if expr.param is not None and expr.param in values:
+            return ConstExpr(values[expr.param], param=expr.param)
+        return expr
+    if isinstance(expr, ArithExpr):
+        left = substitute_expr(expr.left, values)
+        right = substitute_expr(expr.right, values)
+        if left is expr.left and right is expr.right:
+            return expr
+        return ArithExpr(expr.op, left, right)
+    if isinstance(expr, NegExpr):
+        child = substitute_expr(expr.child, values)
+        return expr if child is expr.child else NegExpr(child)
+    if isinstance(expr, FuncExpr):
+        args = tuple(substitute_expr(a, values) for a in expr.args)
+        if all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        return FuncExpr(name=expr.name, fn=expr.fn, args=args)
+    return expr
+
+
+def substitute_predicate(pred: Predicate, values: Mapping[str, object]) -> Predicate:
+    """Rebuild ``pred`` with parameter-born constants replaced from ``values``."""
+    if isinstance(pred, Comparison):
+        left = substitute_expr(pred.left, values)
+        right = substitute_expr(pred.right, values)
+        if left is pred.left and right is pred.right:
+            return pred
+        return Comparison(pred.op, left, right, pred.param_based)
+    if isinstance(pred, InPredicate):
+        expr = substitute_expr(pred.expr, values)
+        return pred if expr is pred.expr else InPredicate(expr, pred.values)
+    if isinstance(pred, (AndPredicate, OrPredicate)):
+        children = tuple(substitute_predicate(c, values) for c in pred.children)
+        if all(a is b for a, b in zip(children, pred.children)):
+            return pred
+        return type(pred)(children)
+    if isinstance(pred, NotPredicate):
+        child = substitute_predicate(pred.child, values)
+        return pred if child is pred.child else NotPredicate(child)
+    return pred
+
+
+def substitute_output(
+    item: OutputColumn, values: Mapping[str, object]
+) -> OutputColumn:
+    """Rebuild an output column with parameter-born constants replaced."""
+    if isinstance(item.expr, AggregateExpr):
+        if item.expr.arg is None:
+            return item
+        arg = substitute_expr(item.expr.arg, values)
+        if arg is item.expr.arg:
+            return item
+        return OutputColumn(item.name, AggregateExpr(item.expr.func, arg))
+    expr = substitute_expr(item.expr, values)
+    return item if expr is item.expr else OutputColumn(item.name, expr)
+
+
+def substitute_query(query: LogicalQuery, values: Mapping[str, object]) -> LogicalQuery:
+    """Rebuild a bound query with parameter-born constants replaced."""
+    predicates = tuple(substitute_predicate(p, values) for p in query.predicates)
+    having = tuple(substitute_predicate(p, values) for p in query.having)
+    output = tuple(substitute_output(i, values) for i in query.output)
+    if (
+        all(a is b for a, b in zip(predicates, query.predicates))
+        and all(a is b for a, b in zip(having, query.having))
+        and all(a is b for a, b in zip(output, query.output))
+    ):
+        return query
+    return LogicalQuery(
+        relations=query.relations,
+        predicates=predicates,
+        output=output,
+        group_by=query.group_by,
+        having=having,
+        order_by=query.order_by,
+        limit=query.limit,
+        distinct=query.distinct,
+    )
+
+
+def parameter_names(query: LogicalQuery) -> frozenset[str]:
+    """All host-variable names whose values are embedded in ``query``."""
+    names: set[str] = set()
+
+    def visit_expr(expr: ScalarExpr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ConstExpr):
+            if expr.param is not None:
+                names.add(expr.param)
+        elif isinstance(expr, ArithExpr):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, NegExpr):
+            visit_expr(expr.child)
+        elif isinstance(expr, FuncExpr):
+            for arg in expr.args:
+                visit_expr(arg)
+
+    def visit_pred(pred: Predicate) -> None:
+        if isinstance(pred, Comparison):
+            visit_expr(pred.left)
+            visit_expr(pred.right)
+        elif isinstance(pred, InPredicate):
+            visit_expr(pred.expr)
+        elif isinstance(pred, (AndPredicate, OrPredicate)):
+            for child in pred.children:
+                visit_pred(child)
+        elif isinstance(pred, NotPredicate):
+            visit_pred(pred.child)
+
+    for pred in query.predicates:
+        visit_pred(pred)
+    for pred in query.having:
+        visit_pred(pred)
+    for item in query.output:
+        if isinstance(item.expr, AggregateExpr):
+            visit_expr(item.expr.arg)
+        else:
+            visit_expr(item.expr)
+    return frozenset(names)
 
 
 def conjuncts_referencing(

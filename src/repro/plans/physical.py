@@ -15,6 +15,7 @@ re-allocation never mutates the plan.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence, TypeVar
@@ -26,6 +27,11 @@ from .logical import OrderItem, OutputColumn, Predicate
 _node_ids = itertools.count(1)
 
 _C = TypeVar("_C")
+
+
+def fresh_node_id() -> int:
+    """Allocate a new globally unique plan-node id."""
+    return next(_node_ids)
 
 
 @dataclass
@@ -422,3 +428,30 @@ class LimitNode(PlanNode):
 
     def detail(self) -> str:
         return str(self.limit)
+
+
+def clone_plan(plan: PlanNode, share_compiled: bool = True) -> PlanNode:
+    """Deep-copy a plan tree for an independent execution.
+
+    Execution mutates plans in place — the SCIA splices collector nodes into
+    ``children``, annotation passes overwrite ``est``, and the improved-
+    estimate machinery re-derives annotations mid-query — so a cached plan
+    template must never be executed directly.  A clone gives every node a
+    fresh identity, its own ``children`` tuple and its own :class:`Estimates`
+    while *sharing* the immutable payloads (schemas, predicates, specs) with
+    the template.
+
+    With ``share_compiled`` (the default) the clones also share each node's
+    compiled-closure cache: compiled filters, key extractors and projectors
+    depend only on the node's schema and predicates, which are identical
+    across clones, so compilation cost is paid once per cached plan rather
+    than once per execution.  Pass ``False`` when a caller is about to
+    rewrite a clone's predicates (e.g. parameter plugging).
+    """
+    new = copy.copy(plan)
+    new.node_id = fresh_node_id()
+    new.children = tuple(clone_plan(c, share_compiled) for c in plan.children)
+    new.est = plan.est.copy()
+    if not share_compiled:
+        new._compiled = {}
+    return new

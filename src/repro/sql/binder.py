@@ -405,9 +405,16 @@ class Binder:
         if isinstance(expr, AstArith):
             left, lp = self._bind_scalar(expr.left, scope)
             right, rp = self._bind_scalar(expr.right, scope)
-            if isinstance(left, ConstExpr) and isinstance(right, ConstExpr):
+            if (
+                isinstance(left, ConstExpr)
+                and isinstance(right, ConstExpr)
+                and left.param is None
+                and right.param is None
+            ):
                 folded = ArithExpr(expr.op, left, right)
-                # Constant folding keeps predicates in column-vs-constant form.
+                # Constant folding keeps predicates in column-vs-constant
+                # form.  Parameter-born constants are left unfolded so a
+                # prepared statement can re-plug fresh values later.
                 from ..storage.schema import Schema as _S
 
                 value = folded.compile(_S([]))(())
@@ -415,13 +422,17 @@ class Binder:
             return ArithExpr(expr.op, left, right), lp or rp
         if isinstance(expr, AstNeg):
             child, has_param = self._bind_scalar(expr.child, scope)
-            if isinstance(child, ConstExpr) and isinstance(child.value, (int, float)):
+            if (
+                isinstance(child, ConstExpr)
+                and isinstance(child.value, (int, float))
+                and child.param is None
+            ):
                 return ConstExpr(-child.value), has_param
             return NegExpr(child), has_param
         if isinstance(expr, AstParameter):
             if expr.name not in self.params:
                 raise BindError(f"no value supplied for parameter :{expr.name}")
-            return ConstExpr(self.params[expr.name]), True
+            return ConstExpr(self.params[expr.name], param=expr.name), True
         if isinstance(expr, AstFuncCall):
             name = expr.name.lower()
             if name not in self.udfs:

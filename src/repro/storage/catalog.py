@@ -37,11 +37,30 @@ class TableEntry:
 
 
 class Catalog:
-    """Name -> table/index/statistics registry."""
+    """Name -> table/index/statistics registry.
+
+    The catalog also carries a monotonically increasing **statistics epoch**:
+    any event that can change what the optimizer would decide — fresh or
+    injected statistics, data loads, index DDL, table creation/removal, or
+    mid-query re-optimization folding back improved observed statistics —
+    bumps the epoch.  The plan cache (:mod:`repro.engine.plan_cache`) stamps
+    every entry with the epoch it was optimized under and refuses to serve
+    entries from older epochs, so a stale plan is never returned after the
+    engine has learned better estimates.  Per-query *temporary* tables are
+    exempt: they come and go inside a single execution and say nothing new
+    about the persistent database.
+    """
 
     def __init__(self, page_size: int) -> None:
         self.page_size = page_size
         self._entries: dict[str, TableEntry] = {}
+        #: Monotonically increasing statistics epoch (see class docstring).
+        self.stats_epoch = 0
+
+    def bump_stats_epoch(self) -> int:
+        """Advance the statistics epoch; returns the new value."""
+        self.stats_epoch += 1
+        return self.stats_epoch
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._entries
@@ -78,6 +97,8 @@ class Catalog:
                 raise CatalogError(f"key column {col!r} not in schema of {table.name!r}")
         entry = TableEntry(table=table, key_columns=tuple(key_columns))
         self._entries[key] = entry
+        if not table.is_temporary:
+            self.bump_stats_epoch()
         return entry
 
     def drop_table(self, name: str) -> None:
@@ -85,7 +106,9 @@ class Catalog:
         key = name.lower()
         if key not in self._entries:
             raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._entries[key]
+        entry = self._entries.pop(key)
+        if not entry.table.is_temporary:
+            self.bump_stats_epoch()
 
     def entry(self, name: str) -> TableEntry:
         """Catalog entry for ``name`` (raises for unknown tables)."""
@@ -117,11 +140,16 @@ class Catalog:
             histogram_columns=histogram_columns,
         )
         entry.stats = stats
+        if not entry.table.is_temporary:
+            self.bump_stats_epoch()
         return stats
 
     def set_stats(self, name: str, stats: TableStats) -> None:
         """Inject (possibly deliberately wrong) statistics for a table."""
-        self.entry(name).stats = stats
+        entry = self.entry(name)
+        entry.stats = stats
+        if not entry.table.is_temporary:
+            self.bump_stats_epoch()
 
     def stats_for(self, name: str) -> TableStats:
         """Statistics for a table, falling back to schema-only defaults."""
@@ -142,6 +170,8 @@ class Catalog:
             raise CatalogError(f"index already exists on {table_name}.{base}")
         index = build_index(index_name, entry.table, column, clustered=clustered)
         entry.indexes[base] = index
+        if not entry.table.is_temporary:
+            self.bump_stats_epoch()
         return index
 
     def index_on(self, table_name: str, column: str) -> Index | None:

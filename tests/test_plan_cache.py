@@ -1,0 +1,289 @@
+"""Plan cache, prepared statements and statistics-epoch invalidation."""
+
+import random
+
+import pytest
+
+from repro import Database, DataType, DynamicMode, EngineConfig
+from repro.engine.plan_cache import (
+    CachedPlan,
+    PlanCache,
+    parameter_signature,
+)
+from repro.workloads.synthetic import (
+    RUNNING_EXAMPLE_SQL,
+    SyntheticConfig,
+    build_running_example,
+)
+from .conftest import make_two_table_db
+
+SQL = "SELECT r1.a, r2.c FROM r1, r2 WHERE r1.id = r2.r1_id AND r1.a < 40"
+PARAM_SQL = (
+    "SELECT r1.a, r2.c FROM r1, r2 WHERE r1.id = r2.r1_id AND r1.a < :cutoff"
+)
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        for i in range(3):
+            key = PlanCache.exact_key(f"q{i}", (), "full", "batch")
+            cache.store(key, CachedPlan(query=None, plan=None, scia=None, epoch=0))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # q0 was evicted; q1 and q2 remain.
+        assert PlanCache.exact_key("q0", (), "full", "batch") not in cache
+        assert PlanCache.exact_key("q2", (), "full", "batch") in cache
+
+    def test_hit_refreshes_lru_position(self):
+        cache = PlanCache(capacity=2)
+        k0 = PlanCache.exact_key("q0", (), "full", "batch")
+        k1 = PlanCache.exact_key("q1", (), "full", "batch")
+        cache.store(k0, CachedPlan(query=None, plan=None, scia=None, epoch=0))
+        cache.store(k1, CachedPlan(query=None, plan=None, scia=None, epoch=0))
+        assert cache.lookup(k0, 0) is not None  # refresh q0
+        cache.store(
+            PlanCache.exact_key("q2", (), "full", "batch"),
+            CachedPlan(query=None, plan=None, scia=None, epoch=0),
+        )
+        assert k0 in cache and k1 not in cache
+
+    def test_epoch_mismatch_counts_invalidation(self):
+        cache = PlanCache()
+        key = PlanCache.exact_key("q", (), "full", "batch")
+        cache.store(key, CachedPlan(query=None, plan=None, scia=None, epoch=3))
+        assert cache.lookup(key, 4) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+        assert key not in cache
+
+    def test_parameter_signature_distinguishes_types_and_values(self):
+        assert parameter_signature({"v": 1}) != parameter_signature({"v": 2})
+        assert parameter_signature({"v": 1}) != parameter_signature({"v": 1.0})
+        assert parameter_signature({"a": 1, "b": 2}) == parameter_signature(
+            {"b": 2, "a": 1}
+        )
+        assert parameter_signature(None) == parameter_signature({}) == ()
+
+    def test_hit_rate(self):
+        cache = PlanCache()
+        key = PlanCache.exact_key("q", (), "full", "batch")
+        assert cache.lookup(key, 0) is None
+        cache.store(key, CachedPlan(query=None, plan=None, scia=None, epoch=0))
+        assert cache.lookup(key, 0) is not None
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestWarmExecution:
+    def test_second_execution_hits_and_matches_cold(self):
+        db = make_two_table_db()
+        cold = db.execute(SQL)
+        warm = db.execute(SQL)
+        assert not cold.profile.plan_cache_hit
+        assert warm.profile.plan_cache_hit
+        assert warm.rows == cold.rows
+        # Simulated profiles are identical warm or cold: the cost clock is
+        # always charged one calibrated optimization.
+        assert warm.profile.total_cost == cold.profile.total_cost
+        assert (
+            warm.profile.optimizer_invocations == cold.profile.optimizer_invocations
+        )
+        assert warm.profile.initial_estimated_cost == pytest.approx(
+            cold.profile.initial_estimated_cost
+        )
+
+    def test_warm_hits_on_row_and_batch_modes(self):
+        db = make_two_table_db()
+        for execution_mode in ("row", "batch"):
+            cold = db.execute(SQL, execution_mode=execution_mode)
+            warm = db.execute(SQL, execution_mode=execution_mode)
+            assert not cold.profile.plan_cache_hit
+            assert warm.profile.plan_cache_hit
+            assert warm.rows == cold.rows
+
+    def test_execution_mode_is_part_of_the_key(self):
+        db = make_two_table_db()
+        batch = db.execute(SQL, execution_mode="batch")
+        row = db.execute(SQL, execution_mode="row")
+        # The row-mode execution must not reuse the batch-mode entry.
+        assert not row.profile.plan_cache_hit
+        assert row.rows == batch.rows
+
+    def test_dynamic_mode_is_part_of_the_key(self):
+        db = make_two_table_db()
+        db.execute(SQL, mode=DynamicMode.FULL)
+        off = db.execute(SQL, mode=DynamicMode.OFF)
+        assert not off.profile.plan_cache_hit
+
+    def test_parameter_values_are_part_of_the_key(self):
+        db = make_two_table_db()
+        first = db.execute(PARAM_SQL, params={"cutoff": 40})
+        other = db.execute(PARAM_SQL, params={"cutoff": 10})
+        assert not other.profile.plan_cache_hit
+        assert len(other.rows) < len(first.rows)
+        warm = db.execute(PARAM_SQL, params={"cutoff": 40})
+        assert warm.profile.plan_cache_hit
+        assert warm.rows == first.rows
+
+    def test_disabled_cache_never_hits(self):
+        db = Database(EngineConfig(plan_cache_enabled=False))
+        rng = random.Random(0)
+        db.create_table("t", [("id", DataType.INTEGER), ("a", DataType.INTEGER)], key=["id"])
+        db.load_rows("t", [(i, rng.randrange(100)) for i in range(500)])
+        db.analyze()
+        db.execute("SELECT count(*) FROM t WHERE t.a < 10")
+        again = db.execute("SELECT count(*) FROM t WHERE t.a < 10")
+        assert not again.profile.plan_cache_hit
+        assert len(db.plan_cache) == 0
+
+    def test_plan_defaults_to_cold(self):
+        db = make_two_table_db()
+        db.plan(SQL)
+        db.plan(SQL)
+        assert db.plan_cache.stats.stores == 0
+        assert db.plan_cache.stats.hits == 0
+
+    def test_capacity_comes_from_config(self):
+        db = Database(EngineConfig(plan_cache_size=1))
+        assert db.plan_cache.capacity == 1
+
+
+class TestEpochInvalidation:
+    def _warm(self, db):
+        db.execute(SQL)
+        warm = db.execute(SQL)
+        assert warm.profile.plan_cache_hit
+
+    def test_analyze_invalidates(self):
+        db = make_two_table_db()
+        self._warm(db)
+        db.analyze()
+        after = db.execute(SQL)
+        assert not after.profile.plan_cache_hit
+        assert db.plan_cache.stats.invalidations >= 1
+
+    def test_load_rows_invalidates(self):
+        db = make_two_table_db()
+        self._warm(db)
+        db.load_rows("r1", [(100_000, 1, 1)])
+        after = db.execute(SQL)
+        assert not after.profile.plan_cache_hit
+        assert db.plan_cache.stats.invalidations >= 1
+
+    def test_create_index_invalidates(self):
+        db = make_two_table_db()
+        self._warm(db)
+        db.create_index("idx_r2_r1_id", "r2", "r1_id")
+        after = db.execute(SQL)
+        assert not after.profile.plan_cache_hit
+
+    def test_drop_table_invalidates(self):
+        db = make_two_table_db()
+        self._warm(db)
+        epoch = db.catalog.stats_epoch
+        db.create_table("scratch", [("id", DataType.INTEGER)], key=["id"])
+        db.drop_table("scratch")
+        assert db.catalog.stats_epoch > epoch
+
+    def test_set_stats_invalidates(self, two_table_db):
+        db = two_table_db
+        epoch = db.catalog.stats_epoch
+        db.catalog.set_stats("r1", db.catalog.stats_for("r1"))
+        assert db.catalog.stats_epoch > epoch
+
+    def test_register_udf_clears_cache(self):
+        db = make_two_table_db()
+        self._warm(db)
+        db.register_udf("double", lambda x: 2 * x)
+        assert len(db.plan_cache) == 0
+
+    def test_mid_query_reoptimization_bumps_epoch(self):
+        db = Database()
+        build_running_example(
+            db, SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
+        )
+        sql = RUNNING_EXAMPLE_SQL
+        params = {"value1": 80, "value2": 80}
+        epoch = db.catalog.stats_epoch
+        first = db.execute(sql, params=params, mode=DynamicMode.FULL)
+        assert first.profile.plan_switches >= 1
+        # The switch discredited the optimizer's estimates: the epoch moved,
+        # so the stale plan cannot be served again.
+        assert db.catalog.stats_epoch > epoch
+        second = db.execute(sql, params=params, mode=DynamicMode.FULL)
+        assert not second.profile.plan_cache_hit
+        assert second.rows == first.rows
+
+    def test_temp_tables_do_not_bump_epoch(self, two_table_db, buffer_pool):
+        from repro.storage.temp import TempTableManager
+
+        db = two_table_db
+        manager = TempTableManager(db.catalog, buffer_pool)
+        epoch = db.catalog.stats_epoch
+        table = manager.materialize(db.table("r1").schema, [(1, 2, 3)])
+        manager.drop(table.name)
+        assert db.catalog.stats_epoch == epoch
+
+
+class TestPreparedStatements:
+    def test_prepared_results_identical_to_cold(self):
+        for execution_mode in ("row", "batch"):
+            cold_db = make_two_table_db()
+            prep_db = make_two_table_db()
+            cold = cold_db.execute(SQL, execution_mode=execution_mode)
+            stmt = prep_db.prepare(SQL)
+            first = stmt.execute(execution_mode=execution_mode)
+            second = stmt.execute(execution_mode=execution_mode)
+            assert first.rows == cold.rows
+            assert second.rows == cold.rows
+            assert first.profile.total_cost == cold.profile.total_cost
+            assert second.profile.total_cost == cold.profile.total_cost
+            assert second.profile.plan_cache_hit
+
+    def test_parametric_prepared_shares_scenarios_across_bindings(self):
+        db = make_two_table_db()
+        stmt = db.prepare(PARAM_SQL)
+        first = stmt.execute({"cutoff": 40})
+        assert first.profile.parametric_plan_count >= 1
+        stores_after_first = db.plan_cache.stats.stores
+        second = stmt.execute({"cutoff": 10})
+        third = stmt.execute({"cutoff": 90})
+        # One cached scenario set serves every binding: no further stores.
+        assert db.plan_cache.stats.stores == stores_after_first
+        assert second.profile.plan_cache_hit
+        assert third.profile.plan_cache_hit
+        assert stmt.executions == 3
+
+    def test_parametric_prepared_matches_cold_parametric(self):
+        for cutoff in (10, 40, 90):
+            cold_db = make_two_table_db()
+            prep_db = make_two_table_db()
+            cold = cold_db.execute(
+                PARAM_SQL, params={"cutoff": cutoff}, parametric=True
+            )
+            stmt = prep_db.prepare(PARAM_SQL)
+            stmt.execute({"cutoff": 40})  # populate the scenario cache
+            warm = stmt.execute({"cutoff": cutoff})
+            assert warm.rows == cold.rows
+            assert warm.profile.parametric_choice == cold.profile.parametric_choice
+
+    def test_prepared_explain_matches_database_explain(self):
+        db = make_two_table_db()
+        stmt = db.prepare(SQL)
+        assert stmt.execute().rows == db.execute(SQL).rows
+        assert stmt.explain() == db.explain(SQL)
+
+    def test_prepared_parse_error_raises_at_prepare_time(self):
+        db = make_two_table_db()
+        with pytest.raises(Exception):
+            db.prepare("SELEC nope")
+
+    def test_phase_breakdown_populated(self):
+        db = make_two_table_db()
+        cold = db.execute(SQL)
+        warm = db.execute(SQL)
+        assert cold.profile.phases.optimize_s > 0
+        assert cold.profile.phases.execute_s > 0
+        assert warm.profile.phases.total_s > 0
+        assert "cache=hit" in warm.profile.summary()
+        assert "cache=miss" in cold.profile.summary()
