@@ -1,0 +1,255 @@
+"""Parallel scaling curve: morsel-driven execution vs the serial batch path.
+
+Like ``bench_wallclock``, this benchmark reports *real* elapsed time
+(``time.perf_counter``), not the simulated cost clock.  Each TPC-D query is
+optimized once (FULL mode) and the plan is dispatched repeatedly under
+``execution_mode="batch"`` and ``execution_mode="parallel"`` at several
+worker counts, producing a scaling curve.  Every parallel run is also
+checked against the batch run for the determinism contract of
+``src/repro/executor/parallel.py``: byte-identical rows, bit-identical
+simulated cost and buffer statistics — a benchmark result with broken
+parity is a bug, not a data point.
+
+The speedup gate (scan-heavy queries at least ``REQUIRED_SPEEDUP`` faster
+at 4 workers) is hardware-dependent by nature: a fork-based worker pool
+cannot beat the serial path without real CPUs to fan out to.  The gate is
+therefore asserted only when the host grants this process at least
+``REQUIRED_CPUS`` cores; on smaller hosts the curve and parity checks
+still run and the JSON document records the gate as skipped.
+
+Results go to ``BENCH_parallel.json`` at the repository root and
+``results/parallel.txt``.  Runs under pytest
+(``pytest benchmarks/bench_parallel.py``) or as a script with knobs::
+
+    python benchmarks/bench_parallel.py [--smoke] [--scale 0.05]
+                                        [--workers 1,2,4] [--repetitions 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import Database, DynamicMode
+from repro.bench import ExperimentConfig, build_database
+from repro.executor.dispatcher import Dispatcher
+from repro.executor.runtime import RuntimeContext
+from repro.optimizer.cost_model import CostModel
+from repro.storage import BufferPool, CostClock, TempTableManager
+from repro.workloads.tpcd import ALL_QUERIES
+
+SCALE_FACTOR = 0.05
+SMOKE_SCALE_FACTOR = 0.01
+REPETITIONS = 3
+WORKER_COUNTS = (1, 2, 4)
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: The speedup gate: scan-heavy queries, in aggregate, this much faster at
+#: 4 workers than the serial batch path — asserted only on hosts that
+#: actually grant the process enough CPUs to fan out to.
+REQUIRED_SPEEDUP = 1.8
+REQUIRED_CPUS = 4
+
+#: Queries whose runtime is dominated by a parallelizable leaf pipeline
+#: (big lineitem scans); the scaling gate aggregates over these.
+SCAN_HEAVY = ("Q1", "Q6")
+
+
+def available_cpus() -> int:
+    """CPUs actually granted to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _dispatch(db: Database, plan, execution_mode: str, workers: int = 0):
+    """One timed Dispatcher run on a fresh runtime context."""
+    config = db.config.with_updates(
+        execution_mode=execution_mode, parallel_workers=workers
+    )
+    clock = CostClock(config.cost)
+    pool = BufferPool(config.buffer_pool_pages, clock)
+    ctx = RuntimeContext(
+        catalog=db.catalog,
+        config=config,
+        clock=clock,
+        buffer_pool=pool,
+        temp_manager=TempTableManager(db.catalog, pool),
+        cost_model=CostModel(config),
+        memory_budget_pages=config.query_memory_pages,
+    )
+    start = time.perf_counter()
+    result = Dispatcher(ctx).run(plan)
+    elapsed = time.perf_counter() - start
+    ctx.temp_manager.drop_all()
+    return elapsed, result, ctx
+
+
+def _check_parity(batch, batch_ctx, parallel, parallel_ctx) -> list[str]:
+    """The determinism contract, as a list of violations (empty = clean)."""
+    violations = []
+    if parallel.rows != batch.rows:
+        violations.append("rows differ")
+    if parallel_ctx.clock.breakdown != batch_ctx.clock.breakdown:
+        violations.append("cost breakdown differs")
+    if parallel_ctx.clock.now != batch_ctx.clock.now:
+        violations.append("total cost differs")
+    if parallel_ctx.buffer_pool.stats != batch_ctx.buffer_pool.stats:
+        violations.append("buffer statistics differ")
+    return violations
+
+
+def run_benchmark(
+    scale_factor: float = SCALE_FACTOR,
+    repetitions: int = REPETITIONS,
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+) -> dict:
+    """Measure the scaling curve for every harness query."""
+    db = build_database(ExperimentConfig(scale_factor=scale_factor))
+    queries = []
+    for query in ALL_QUERIES:
+        plan, __scia, __opt = db.plan(query.sql, mode=DynamicMode.FULL)
+        best_batch, batch_result, batch_ctx = min(
+            (_dispatch(db, plan, "batch") for __ in range(repetitions)),
+            key=lambda r: r[0],
+        )
+        entry = {
+            "name": query.name,
+            "category": query.category,
+            "batch_s": round(best_batch, 6),
+            "parity": True,
+        }
+        for workers in worker_counts:
+            best, result, ctx = min(
+                (_dispatch(db, plan, "parallel", workers) for __ in range(repetitions)),
+                key=lambda r: r[0],
+            )
+            violations = _check_parity(batch_result, batch_ctx, result, ctx)
+            if violations:
+                entry["parity"] = False
+                entry.setdefault("violations", []).extend(
+                    f"workers={workers}: {v}" for v in violations
+                )
+            entry[f"parallel{workers}_s"] = round(best, 6)
+            entry[f"speedup{workers}"] = round(best_batch / best, 2)
+            if workers == max(worker_counts):
+                entry["pipelines"] = ctx.parallel.pipelines
+                entry["morsels"] = ctx.parallel.morsels
+        queries.append(entry)
+
+    gate_workers = max(worker_counts)
+    scan_heavy = [q for q in queries if q["name"] in SCAN_HEAVY]
+    batch_total = sum(q["batch_s"] for q in scan_heavy)
+    parallel_total = sum(q[f"parallel{gate_workers}_s"] for q in scan_heavy)
+    cpus = available_cpus()
+    gate_enforced = cpus >= REQUIRED_CPUS and gate_workers >= REQUIRED_CPUS
+    return {
+        "scale_factor": scale_factor,
+        "repetitions": repetitions,
+        "worker_counts": list(worker_counts),
+        "cpus_available": cpus,
+        "metric": "best-of-N wall-clock seconds (time.perf_counter)",
+        "queries": queries,
+        "scan_heavy": {
+            "names": list(SCAN_HEAVY),
+            "batch_s": round(batch_total, 6),
+            f"parallel{gate_workers}_s": round(parallel_total, 6),
+            "speedup": round(batch_total / parallel_total, 2),
+        },
+        "speedup_gate": {
+            "required": REQUIRED_SPEEDUP,
+            "at_workers": gate_workers,
+            "enforced": gate_enforced,
+            "reason": (
+                "enforced"
+                if gate_enforced
+                else f"skipped: {cpus} CPU(s) granted, need {REQUIRED_CPUS}"
+            ),
+        },
+        "parity_ok": all(q["parity"] for q in queries),
+    }
+
+
+def _render(document: dict) -> str:
+    counts = document["worker_counts"]
+    header = f"{'query':<8}{'batch s':>10}"
+    for w in counts:
+        header += f"{f'w{w} s':>10}{'spdup':>7}"
+    header += f"{'parity':>8}"
+    lines = [
+        "Morsel-parallel scaling vs serial batch path "
+        f"(TPC-D sf={document['scale_factor']}, best of {document['repetitions']}, "
+        f"{document['cpus_available']} CPU(s))",
+        header,
+    ]
+    for entry in document["queries"]:
+        line = f"{entry['name']:<8}{entry['batch_s']:>10.3f}"
+        for w in counts:
+            line += f"{entry[f'parallel{w}_s']:>10.3f}{entry[f'speedup{w}']:>6.2f}x"
+        line += f"{'ok' if entry['parity'] else 'FAIL':>8}"
+        lines.append(line)
+    heavy = document["scan_heavy"]
+    gate = document["speedup_gate"]
+    lines.append(
+        f"scan-heavy ({','.join(heavy['names'])}): {heavy['speedup']:.2f}x "
+        f"at {gate['at_workers']} workers (gate {gate['required']}x, {gate['reason']})"
+    )
+    return "\n".join(lines)
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"tiny run (sf={SMOKE_SCALE_FACTOR}, 1 repetition, workers 1,2)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="TPC-D scale factor")
+    parser.add_argument(
+        "--workers",
+        type=lambda s: tuple(int(v) for v in s.split(",")),
+        default=None,
+        help="comma-separated worker counts (default 1,2,4)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="best-of-N repetitions"
+    )
+    return parser.parse_args(argv)
+
+
+def test_parallel_scaling(results_dir):
+    from conftest import write_result
+
+    document = run_benchmark()
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    write_result(results_dir, "parallel", _render(document))
+    assert document["parity_ok"], [
+        q for q in document["queries"] if not q["parity"]
+    ]
+    if document["speedup_gate"]["enforced"]:
+        assert document["scan_heavy"]["speedup"] >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    scale = args.scale if args.scale is not None else (
+        SMOKE_SCALE_FACTOR if args.smoke else SCALE_FACTOR
+    )
+    workers = args.workers if args.workers is not None else (
+        (1, 2) if args.smoke else WORKER_COUNTS
+    )
+    repetitions = args.repetitions if args.repetitions is not None else (
+        1 if args.smoke else REPETITIONS
+    )
+    doc = run_benchmark(scale, repetitions, workers)
+    if not args.smoke:
+        JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(_render(doc))
+    if not doc["parity_ok"]:
+        raise SystemExit("parity violations detected")
+    if not args.smoke:
+        print(f"\nwrote {JSON_PATH}")

@@ -21,6 +21,7 @@ example, 4 KB pages).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -29,6 +30,23 @@ from .errors import ConfigError
 #: Bytes per simulated disk page.  TPC-D-era systems (and Paradise) used 4 KB
 #: or 8 KB pages; 4 KB keeps page counts meaningful at small scale factors.
 PAGE_SIZE_BYTES = 4096
+
+
+def _default_execution_mode() -> str:
+    """Execution-mode default, overridable via ``REPRO_EXECUTION_MODE``.
+
+    Lets CI run the whole test suite under another executor (notably
+    ``parallel``) without touching any call site.
+    """
+    return os.environ.get("REPRO_EXECUTION_MODE", "batch")
+
+
+def _default_parallel_workers() -> int:
+    """Worker-count default, overridable via ``REPRO_WORKERS`` (0 = auto)."""
+    try:
+        return int(os.environ.get("REPRO_WORKERS", "0"))
+    except ValueError:
+        return 0
 
 
 @dataclass(frozen=True)
@@ -121,14 +139,35 @@ class EngineConfig:
     #: own build input still reaches it.  Paradise did not support this;
     #: the default False reproduces the paper's baseline behaviour.
     responsive_hash_joins: bool = False
-    #: Tuple-at-a-time (``"row"``) or vectorized (``"batch"``) execution.
-    #: Both paths produce identical rows, cost-clock charges and observed
-    #: statistics; the batch path amortises Python interpretation overhead
-    #: over ``batch_size`` tuples and is the default.
-    execution_mode: str = "batch"
+    #: Tuple-at-a-time (``"row"``), vectorized (``"batch"``) or morsel-driven
+    #: multi-process (``"parallel"``) execution.  All paths produce identical
+    #: rows, cost-clock charges and observed statistics; the batch path
+    #: amortises Python interpretation overhead over ``batch_size`` tuples
+    #: and is the default, the parallel path additionally fans leaf
+    #: pipelines across a fork-based worker pool for real multi-core
+    #: wall-clock speedup.
+    execution_mode: str = field(default_factory=_default_execution_mode)
     #: Rows per batch on the batch execution path.  Operators may yield
     #: slightly larger batches (scans round up to page boundaries).
     batch_size: int = 1024
+    #: Worker processes for ``execution_mode="parallel"``; 0 means one per
+    #: CPU core (``os.cpu_count()``).  1 executes morsels in-process.
+    parallel_workers: int = field(default_factory=_default_parallel_workers)
+    #: Pages of a base table per morsel (the unit of parallel work).  64
+    #: pages ≈ 256 KB of simulated data — large enough to amortise pickling
+    #: a result batch back, small enough to load-balance.
+    morsel_pages: int = 64
+    #: A scan is only parallelized when it splits into at least this many
+    #: morsels; smaller inputs stay on the serial batch path.
+    parallel_min_morsels: int = 2
+    #: How parallel leaf pipelines collect reservoir samples:
+    #: ``"exact"`` (default) replays the serial sampling RNG over the merged
+    #: morsel outputs in the parent, making every observed statistic —
+    #: histograms included — bit-identical to the batch path; ``"merge"``
+    #: samples per morsel (RNG seeded by morsel index) and merges weighted,
+    #: which is schedule-independent but yields a different (equally valid)
+    #: sample than serial execution.
+    parallel_stats: str = "exact"
     #: Whether :meth:`Database.execute` serves repeated statements from the
     #: statistics-epoch plan cache.  Disabling forces cold preparation on
     #: every call; results and simulated-cost profiles are identical either
@@ -155,12 +194,27 @@ class EngineConfig:
             raise ConfigError(f"reservoir_sample_size must be positive, got {self.reservoir_sample_size}")
         if self.runtime_histogram_buckets <= 0:
             raise ConfigError(f"runtime_histogram_buckets must be positive, got {self.runtime_histogram_buckets}")
-        if self.execution_mode not in ("row", "batch"):
+        if self.execution_mode not in ("row", "batch", "parallel"):
             raise ConfigError(
-                f"execution_mode must be 'row' or 'batch', got {self.execution_mode!r}"
+                "execution_mode must be 'row', 'batch' or 'parallel', "
+                f"got {self.execution_mode!r}"
             )
         if self.batch_size <= 0:
             raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
+        if self.parallel_workers < 0:
+            raise ConfigError(
+                f"parallel_workers must be non-negative, got {self.parallel_workers}"
+            )
+        if self.morsel_pages <= 0:
+            raise ConfigError(f"morsel_pages must be positive, got {self.morsel_pages}")
+        if self.parallel_min_morsels <= 0:
+            raise ConfigError(
+                f"parallel_min_morsels must be positive, got {self.parallel_min_morsels}"
+            )
+        if self.parallel_stats not in ("exact", "merge"):
+            raise ConfigError(
+                f"parallel_stats must be 'exact' or 'merge', got {self.parallel_stats!r}"
+            )
         if self.plan_cache_size <= 0:
             raise ConfigError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"

@@ -187,6 +187,7 @@ class Database:
         params: Mapping[str, object] | None = None,
         mode: DynamicMode = DynamicMode.FULL,
         execution_mode: str | None = None,
+        workers: int | None = None,
         parametric: bool = False,
         use_cache: bool = True,
     ) -> PreparedExecution:
@@ -211,6 +212,16 @@ class Database:
         use_cache = use_cache and self.config.plan_cache_enabled
         epoch = self.catalog.stats_epoch
         exec_mode = execution_mode or self.config.execution_mode
+        # A plan prepared for parallel leaf pipelines is specialized to its
+        # worker count (morsel fan-out, staging windows); never serve it to
+        # the serial executor or a differently-sized pool, and vice versa.
+        if exec_mode == "parallel":
+            resolved_workers = (
+                workers if workers is not None else self.config.parallel_workers
+            )
+            exec_mode_key = f"parallel/w{resolved_workers}"
+        else:
+            exec_mode_key = exec_mode
 
         if parametric and has_parameter_predicates(query):
             return self._prepare_parametric(
@@ -221,7 +232,7 @@ class Database:
         entry: CachedPlan | None = None
         if use_cache:
             key = PlanCache.exact_key(
-                deparse(query), parameter_signature(params), mode.value, exec_mode
+                deparse(query), parameter_signature(params), mode.value, exec_mode_key
             )
             entry = self.plan_cache.lookup(key, epoch)
 
@@ -364,6 +375,7 @@ class Database:
         memory_budget_pages: int | None = None,
         parametric: bool = False,
         execution_mode: str | None = None,
+        workers: int | None = None,
     ) -> QueryResult:
         """Execute a statement under the given dynamic-re-optimization mode.
 
@@ -374,8 +386,11 @@ class Database:
         stays armed for the cases no scenario anticipated.
 
         ``execution_mode`` overrides :attr:`EngineConfig.execution_mode`
-        (``"row"`` or ``"batch"``) for this query only; both paths yield
-        identical rows, cost-clock charges and observed statistics.
+        (``"row"``, ``"batch"`` or ``"parallel"``) for this query only; all
+        paths yield identical rows, cost-clock charges and observed
+        statistics.  ``workers`` overrides
+        :attr:`EngineConfig.parallel_workers` for this query (parallel mode
+        only; 0 means one worker per CPU core).
 
         Preparation (parse/bind/optimize/SCIA) goes through the plan cache:
         repeats of the same statement under an unchanged statistics epoch
@@ -390,9 +405,12 @@ class Database:
             params=params,
             mode=mode,
             execution_mode=execution_mode,
+            workers=workers,
             parametric=parametric,
         )
-        return self._run(prepared, sql, mode, memory_budget_pages, execution_mode)
+        return self._run(
+            prepared, sql, mode, memory_budget_pages, execution_mode, workers
+        )
 
     def _execute_prepared(
         self,
@@ -403,6 +421,7 @@ class Database:
         memory_budget_pages: int | None,
         parametric: bool,
         execution_mode: str | None,
+        workers: int | None = None,
     ) -> QueryResult:
         """Execution entry point for :class:`PreparedStatement`."""
         prepared = self._prepare(
@@ -411,9 +430,12 @@ class Database:
             params=params,
             mode=mode,
             execution_mode=execution_mode,
+            workers=workers,
             parametric=parametric,
         )
-        return self._run(prepared, sql, mode, memory_budget_pages, execution_mode)
+        return self._run(
+            prepared, sql, mode, memory_budget_pages, execution_mode, workers
+        )
 
     def _run(
         self,
@@ -422,6 +444,7 @@ class Database:
         mode: DynamicMode,
         memory_budget_pages: int | None = None,
         execution_mode: str | None = None,
+        workers: int | None = None,
     ) -> QueryResult:
         """Run a prepared execution through the dynamic-re-optimization loop."""
         query = prepared.query
@@ -429,8 +452,13 @@ class Database:
         optimizer = prepared.optimizer
         scia_result = prepared.scia
         run_config = self.config
+        updates: dict[str, object] = {}
         if execution_mode is not None:
-            run_config = self.config.with_updates(execution_mode=execution_mode)
+            updates["execution_mode"] = execution_mode
+        if workers is not None:
+            updates["parallel_workers"] = workers
+        if updates:
+            run_config = self.config.with_updates(**updates)
             run_config.validate()
 
         clock = CostClock(self.config.cost)
@@ -451,6 +479,7 @@ class Database:
             buffer_pool=buffer_pool,
             temp_manager=temp_manager,
             cost_model=cost_model,
+            memory_budget_pages=budget,
         )
         allocation = memory_manager.allocate(plan)
         ctx.allocation.update(allocation)
@@ -507,6 +536,13 @@ class Database:
                 execute_s=execute_s,
             ),
             plan_cache_hit=prepared.cache_hit,
+            workers=ctx.parallel.workers,
+            morsels=ctx.parallel.morsels,
+            parallel_pipelines=ctx.parallel.pipelines,
+            worker_wall_s={
+                str(pid): round(seconds, 6)
+                for pid, seconds in sorted(ctx.parallel.worker_seconds.items())
+            },
             events=list(controller.events) if controller else [],
             plan_explanations=[explain_plan(p) for p in outcome.plan_history],
             remainder_sqls=[

@@ -80,6 +80,16 @@ class ExecutionProfile:
     phases: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     #: Whether the plan (or scenario set) was served from the plan cache.
     plan_cache_hit: bool = False
+    #: Morsel-parallel execution telemetry (``execution_mode="parallel"``;
+    #: all zero/empty otherwise).  ``workers`` is the largest pool used by
+    #: any leaf pipeline, ``morsels`` the total morsels executed,
+    #: ``parallel_pipelines`` how many pipelines fanned out, and
+    #: ``worker_wall_s`` maps worker process id to busy wall-clock seconds
+    #: — wall-clock observations only, never part of the simulated cost.
+    workers: int = 0
+    morsels: int = 0
+    parallel_pipelines: int = 0
+    worker_wall_s: dict[str, float] = field(default_factory=dict)
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)

@@ -72,6 +72,15 @@ BatchIterator = Iterator[Batch]
 
 def execute_node_batches(node: PlanNode, ctx: RuntimeContext) -> BatchIterator:
     """Execute a plan subtree, yielding non-empty batches of result rows."""
+    if ctx.execution_mode == "parallel":
+        from .parallel import morsel_pipeline
+
+        # Leaf pipelines (scan + filters/projections + collector) fan out
+        # across the morsel worker pool; the merged stream is batch-path
+        # identical, including bookkeeping, so no _tracked wrapper here.
+        parallel_stream = morsel_pipeline(node, ctx)
+        if parallel_stream is not None:
+            return parallel_stream
     executor = _BATCH_EXECUTORS.get(type(node))
     if executor is None:
         raise ExecutionError(f"no batch executor for node type {type(node).__name__}")

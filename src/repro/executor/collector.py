@@ -20,13 +20,14 @@ that the improved-estimate machinery substitutes into the plan.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Mapping, Sequence
 
 from ..config import EngineConfig
 from ..plans.physical import CollectorSpec, StatsCollectorNode
-from ..stats.distinct import HybridDistinct
+from ..stats.distinct import HybridDistinct, _mix64
 from ..stats.histogram import Histogram, HistogramKind, from_sample
 from ..stats.sampling import Reservoir
 from ..stats.table_stats import ColumnStats
@@ -148,6 +149,29 @@ def _guess_dtype(histogram: Histogram):
     return DataType.FLOAT if histogram.buckets else DataType.INTEGER
 
 
+#: Salt for the dedicated reservoir-merge RNG, so merge randomness never
+#: aliases the per-reservoir sampling streams derived from the same seed.
+_MERGE_RNG_SALT = 0xC2B2AE3D27D4EB4F
+
+
+@dataclass
+class CollectorPartial:
+    """Picklable partial collector state for one morsel of input.
+
+    Everything a parallel worker ships back about the statistics side of a
+    leaf pipeline: running count, per-column min/max, the distinct sketches
+    (bitmap-OR mergeable), and — in merge-mode statistics only — one
+    per-morsel-seeded reservoir per histogram column.  Exact-mode workers
+    ship ``reservoirs=None``; the parent replays its serially-seeded
+    reservoirs over the (already shipped) output rows instead.
+    """
+
+    row_count: int
+    minmax: dict[str, list]
+    sketches: dict[tuple[str, ...], HybridDistinct]
+    reservoirs: dict[str, Reservoir] | None
+
+
 class RuntimeCollector:
     """Per-execution state of one statistics collector."""
 
@@ -156,6 +180,8 @@ class RuntimeCollector:
         node: StatsCollectorNode,
         schema: Schema,
         config: EngineConfig,
+        collect_reservoirs: bool = True,
+        reservoir_seed: int | None = None,
     ) -> None:
         self.node = node
         self.schema = schema
@@ -168,10 +194,22 @@ class RuntimeCollector:
             if col.dtype.is_numeric
         ]
         self._minmax: dict[str, list[float]] = {}
-        self._reservoirs: dict[str, tuple[int, Reservoir]] = {
-            col: (schema.index_of(col), Reservoir(config.reservoir_sample_size, seed=config.seed))
-            for col in spec.histogram_columns
-        }
+        # ``collect_reservoirs=False`` is the exact-statistics parallel
+        # worker: reservoir sampling is the one non-mergeable statistic (its
+        # sample depends on one serial RNG stream), so workers skip it and
+        # the parent replays it over the merged output.  ``reservoir_seed``
+        # is the merge-statistics worker: an independent stream per morsel
+        # index, making merged samples schedule-independent.
+        seed = config.seed if reservoir_seed is None else reservoir_seed
+        self._reservoirs: dict[str, tuple[int, Reservoir]] = (
+            {
+                col: (schema.index_of(col), Reservoir(config.reservoir_sample_size, seed=seed))
+                for col in spec.histogram_columns
+            }
+            if collect_reservoirs
+            else {}
+        )
+        self._merge_rng: random.Random | None = None
         self._sketches: dict[tuple[str, ...], tuple[tuple[int, ...], HybridDistinct]] = {}
         for cols in spec.distinct_column_sets:
             positions = tuple(schema.index_of(c) for c in cols)
@@ -228,6 +266,64 @@ class RuntimeCollector:
             # itemgetter yields the scalar for one position, the tuple for
             # several — matching observe()'s per-row extraction.
             sketch.add_batch(list(map(itemgetter(*positions), rows)))
+
+    def export_partial(self) -> CollectorPartial:
+        """Package this collector's state for shipping to a merging parent."""
+        return CollectorPartial(
+            row_count=self.row_count,
+            minmax={name: list(entry) for name, entry in self._minmax.items()},
+            sketches={cols: sketch for cols, (__, sketch) in self._sketches.items()},
+            reservoirs=(
+                {col: reservoir for col, (__, reservoir) in self._reservoirs.items()}
+                if self._reservoirs
+                else None
+            ),
+        )
+
+    def absorb_partial(self, partial: CollectorPartial) -> None:
+        """Fold one morsel's partial state into this collector.
+
+        Counts and min/max fold associatively; distinct sketches merge
+        losslessly (bitmap OR / exact-set union), so absorbing partials in
+        *any* order yields the state a serial collector would have reached.
+        Reservoirs (merge-mode statistics only) merge with a dedicated RNG,
+        so as long as partials arrive in morsel order — which the parallel
+        executor guarantees regardless of worker scheduling — the merged
+        sample is deterministic.
+        """
+        self.row_count += partial.row_count
+        minmax = self._minmax
+        for name, (lo, hi) in partial.minmax.items():
+            entry = minmax.get(name)
+            if entry is None:
+                minmax[name] = [lo, hi]
+            else:
+                if lo < entry[0]:
+                    entry[0] = lo
+                if hi > entry[1]:
+                    entry[1] = hi
+        for cols, sketch in partial.sketches.items():
+            self._sketches[cols][1].merge(sketch)
+        if partial.reservoirs:
+            if self._merge_rng is None:
+                self._merge_rng = random.Random(
+                    _mix64(self.config.seed ^ _MERGE_RNG_SALT)
+                )
+            for col, reservoir in partial.reservoirs.items():
+                self._reservoirs[col][1].merge(reservoir, rng=self._merge_rng)
+
+    def replay_reservoirs(self, rows: Sequence[Row]) -> None:
+        """Offer pipeline output rows to the reservoirs only (exact mode).
+
+        Each reservoir owns an independent RNG, and its sampling stream
+        consumes one draw per offered value — so feeding the rows in morsel
+        order reproduces the serial collector's samples bit-for-bit while
+        counts/min-max/sketches arrive pre-merged from the workers.
+        """
+        if not rows:
+            return
+        for position, reservoir in self._reservoirs.values():
+            reservoir.add_batch(list(map(itemgetter(position), rows)))
 
     def finalize(self) -> ObservedStatistics:
         """Turn the accumulated state into observed statistics."""

@@ -130,6 +130,21 @@ class MemoryManager:
         return grants
 
     @staticmethod
+    def split_grant(pages: int, partitions: int) -> list[int]:
+        """Divide a grant of ``pages`` across ``partitions`` parallel workers.
+
+        Used by the morsel-parallel executor to bound per-worker staging
+        memory: shares differ by at most one page and sum exactly to the
+        grant, with earlier partitions receiving the remainder pages.
+        """
+        if partitions <= 0:
+            raise MemoryGrantError(
+                f"cannot split a grant across {partitions} partitions"
+            )
+        base, extra = divmod(max(0, pages), partitions)
+        return [base + 1 if i < extra else base for i in range(partitions)]
+
+    @staticmethod
     def _grant_max_or_min(
         demands: Sequence[MemoryDemand], budget: int, grants: dict[int, int]
     ) -> None:

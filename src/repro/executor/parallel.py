@@ -1,0 +1,459 @@
+"""Morsel-driven parallel execution of leaf pipelines.
+
+``execution_mode="parallel"`` keeps the whole engine on the batch path and
+adds one thing: a *leaf pipeline* — a base-table sequential scan plus its
+stack of streaming operators (filters, projections, optionally the
+SCIA-placed statistics collector at the top) — is split into fixed-size
+page-range **morsels** and fanned across a fork-based worker pool
+(Leis et al.'s morsel-driven parallelism, adapted to a Python engine where
+processes, not threads, are the unit of CPU parallelism).
+
+Workers are forked, so they inherit the loaded catalog and the precompiled
+batch kernels copy-on-write; a task ships only three integers (morsel
+index, page-group range) and the result ships back the compact surviving
+row batches, per-stage output counts and a mergeable statistics partial
+(:class:`~repro.executor.collector.CollectorPartial`).
+
+Determinism contract — the whole point of the design:
+
+* **Rows**: morsel results are merged strictly in morsel order, and within
+  a morsel in page-group order, where a *page group* is exactly the run of
+  pages the serial batch scan would have accumulated into one batch.  The
+  merged stream is therefore byte-identical to the serial batch stream,
+  batch boundaries included.
+* **Simulated cost**: workers never touch the parent's cost clock or
+  buffer pool.  The parent *replays* each page group's charges (buffer
+  access + per-page CPU) at the moment it merges that group, and the
+  streaming operators' end-of-stream totals are charged from exact integer
+  row counts — so the float accumulation order of every cost bucket is
+  identical to serial execution, making ``CostBreakdown`` bit-for-bit
+  equal, not just close.
+* **Statistics**: counts, min/max and distinct sketches merge losslessly
+  (sums, order-free folds, bitmap OR).  Reservoir samples are the one
+  RNG-dependent statistic: with ``parallel_stats="exact"`` (default) the
+  parent replays the serial sampling RNG over the merged output rows in
+  morsel order — bit-identical histograms, so re-optimization decisions
+  cannot diverge from the batch path; with ``"merge"`` each morsel samples
+  under an index-derived seed and samples merge weighted, which is
+  schedule-independent (1, 2 or 7 workers agree) but not serial-identical.
+
+Worker-side hash partitioning and partial pre-aggregation were considered
+and deliberately excluded: float SUM/AVG is non-associative, so regrouping
+additions across workers would break byte-identical results on TPC-D's
+float measures (see ROADMAP open items for the integer-aggregate variant).
+
+Platforms without ``fork`` (or a single-worker configuration) execute the
+same morsel loop in-process — identical results and charges, no speedup —
+with a one-time warning when parallelism had been requested.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time
+import warnings
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..config import EngineConfig
+from ..plans.physical import (
+    FilterNode,
+    PlanNode,
+    ProjectNode,
+    SeqScanNode,
+    StatsCollectorNode,
+)
+from ..stats.distinct import _mix64
+from ..storage.table import Row, Table
+from .collector import CollectorPartial, RuntimeCollector
+from .memory import MemoryManager
+from .runtime import RuntimeContext
+from .vector import compile_batch_filter, compile_batch_projector
+
+#: Salt mixed with the engine seed and morsel index for merge-mode
+#: reservoir seeds, keeping them disjoint from every other RNG stream.
+_MORSEL_SEED_SALT = 0x9E3779B97F4A7C15
+
+#: Cap on staged (completed but unmerged) morsels per worker, whatever the
+#: memory budget allows — keeps the merge point from hoarding results.
+_MAX_STAGED_PER_WORKER = 4
+
+
+@dataclass
+class _Stage:
+    """One streaming operator of a leaf pipeline, ready for a worker."""
+
+    kind: str  # "filter" | "project" | "collect"
+    node: PlanNode
+    fn: Callable[[list], list] | None
+
+
+@dataclass
+class _WorkerState:
+    """Everything a forked worker reads; inherited copy-on-write."""
+
+    rows: list[Row]
+    rows_per_page: int
+    groups: list[tuple[int, int]]
+    stages: list[_Stage]
+    config: EngineConfig
+    exact_stats: bool
+
+
+#: The pipeline being executed, published for forked workers.  Set by the
+#: parent immediately before creating a pool (workers fork at first submit
+#: and inherit it); one pipeline runs at a time, so a single slot suffices.
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _morsel_seed(seed: int, morsel_index: int) -> int:
+    """Deterministic per-morsel RNG seed, independent of worker scheduling."""
+    return _mix64(seed ^ (_MORSEL_SEED_SALT * (morsel_index + 1)))
+
+
+def _fork_available() -> bool:
+    """Whether fork-based pools exist on this platform (Linux/macOS: yes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _worker_init() -> None:
+    """Forked-worker initializer: keep GC off the inherited heap.
+
+    A forked worker inherits the parent's multi-million-object heap.  Any
+    generational collection inside the worker traces all of it and — worse
+    — dirties its copy-on-write pages, which measures an order of magnitude
+    slower than the morsel work itself.  Freezing moves the inherited
+    objects into the permanent generation and disabling the collector
+    leaves reclamation to reference counting; workers are short-lived and
+    the batch kernels allocate no reference cycles.
+    """
+    gc.freeze()
+    gc.disable()
+
+
+def _run_morsel(
+    index: int, first_group: int, last_group: int
+) -> tuple[int, list[list[Row]], list[tuple[int, ...]], CollectorPartial | None, float, int]:
+    """Execute the published pipeline over one morsel of page groups.
+
+    Runs inside a forked worker (or inline on the serial fallback path).
+    Returns per-group output batches and per-stage output counts aligned
+    with the group range, plus the collector partial for the whole morsel.
+    """
+    state = _WORKER_STATE
+    started = time.perf_counter()
+    rows = state.rows
+    per_page = state.rows_per_page
+    collector: RuntimeCollector | None = None
+    for stage in state.stages:
+        if stage.kind == "collect":
+            collector = RuntimeCollector(
+                stage.node,
+                stage.node.child.schema,
+                state.config,
+                collect_reservoirs=not state.exact_stats,
+                reservoir_seed=(
+                    None
+                    if state.exact_stats
+                    else _morsel_seed(state.config.seed, index)
+                ),
+            )
+    batches: list[list[Row]] = []
+    counts: list[tuple[int, ...]] = []
+    for first_page, last_page in state.groups[first_group:last_group]:
+        out: list[Row] = rows[first_page * per_page : last_page * per_page]
+        group_counts = []
+        for stage in state.stages:
+            if stage.kind == "collect":
+                collector.observe_batch(out)
+            else:
+                out = stage.fn(out)
+            group_counts.append(len(out))
+        batches.append(out)
+        counts.append(tuple(group_counts))
+    partial = collector.export_partial() if collector is not None else None
+    return index, batches, counts, partial, time.perf_counter() - started, os.getpid()
+
+
+def _page_groups(table: Table, batch_size: int) -> list[tuple[int, int]]:
+    """Page ranges matching the serial batch scan's yield boundaries.
+
+    The serial scan accumulates whole pages until at least ``batch_size``
+    rows are buffered, then yields; replicating those run boundaries here
+    is what lets the merged parallel stream reproduce the serial batch
+    structure (and charge interleaving) exactly.
+    """
+    per_page = table.rows_per_page
+    total_rows = table.row_count
+    groups: list[tuple[int, int]] = []
+    start = 0
+    buffered = 0
+    for page_no in range(table.page_count):
+        buffered += min(per_page, total_rows - page_no * per_page)
+        if buffered >= batch_size:
+            groups.append((start, page_no + 1))
+            start = page_no + 1
+            buffered = 0
+    if buffered:
+        groups.append((start, table.page_count))
+    return groups
+
+
+def _group_morsels(
+    groups: list[tuple[int, int]], morsel_pages: int
+) -> list[tuple[int, int]]:
+    """Partition page groups into morsels of roughly ``morsel_pages`` pages.
+
+    Morsel boundaries always coincide with group boundaries so a worker
+    produces whole serial batches; each morsel is the shortest run of
+    groups spanning at least ``morsel_pages`` pages (the final one takes
+    the remainder).  Returned as ``(first_group, last_group)`` ranges.
+    """
+    morsels: list[tuple[int, int]] = []
+    start = 0
+    for i in range(len(groups)):
+        if groups[i][1] - groups[start][0] >= morsel_pages:
+            morsels.append((start, i + 1))
+            start = i + 1
+    if start < len(groups):
+        morsels.append((start, len(groups)))
+    return morsels
+
+
+def _staging_window(ctx: RuntimeContext, workers: int, morsel_pages: int) -> int:
+    """How many morsels may be in flight (executing or staged) at once.
+
+    The Memory Manager's operator grants come first: each worker receives
+    an equal :meth:`~repro.executor.memory.MemoryManager.split_grant` share
+    of whatever workspace pages the allocation left free, and may hold at
+    most that many pages of unmerged results (at least one morsel, at most
+    ``_MAX_STAGED_PER_WORKER``, so a tight budget degrades throughput
+    instead of failing).
+    """
+    budget = ctx.memory_budget_pages or ctx.config.query_memory_pages
+    staging = max(0, budget - sum(ctx.allocation.values()))
+    smallest_share = MemoryManager.split_grant(staging, workers)[-1]
+    per_worker = max(1, min(smallest_share // max(1, morsel_pages), _MAX_STAGED_PER_WORKER))
+    return workers * per_worker
+
+
+def morsel_pipeline(node: PlanNode, ctx: RuntimeContext) -> Iterator[list[Row]] | None:
+    """A morsel-parallel batch iterator for ``node``, or None to stay serial.
+
+    A subtree qualifies when it is a leaf pipeline — an optional statistics
+    collector over a chain of filters/projections over a base-table
+    sequential scan, with at least one compute stage to fan out — and the
+    table is large enough to split into ``parallel_min_morsels`` morsels.
+    Everything else (joins, blocking operators, index scans, LIMIT subtrees,
+    small tables) executes on the serial batch path unchanged.
+    """
+    config = ctx.config
+    top_down: list[PlanNode] = []
+    cur = node
+    if isinstance(cur, StatsCollectorNode):
+        top_down.append(cur)
+        cur = cur.child
+    while isinstance(cur, (FilterNode, ProjectNode)):
+        top_down.append(cur)
+        cur = cur.child
+    if not isinstance(cur, SeqScanNode):
+        return None
+    if not any(isinstance(s, (FilterNode, ProjectNode)) for s in top_down):
+        return None
+    table = ctx.catalog.table(cur.table_name)
+    groups = _page_groups(table, ctx.batch_size)
+    morsels = _group_morsels(groups, config.morsel_pages)
+    if len(morsels) < config.parallel_min_morsels:
+        return None
+    return _execute_morsels(ctx, list(reversed(top_down)), cur, table, groups, morsels)
+
+
+def _results_in_order(
+    state: _WorkerState,
+    morsels: list[tuple[int, int]],
+    workers: int,
+    use_pool: bool,
+    window: int,
+):
+    """Yield morsel results strictly in morsel order.
+
+    Owns the worker pool: ``_WORKER_STATE`` is published before the pool
+    exists (forked children inherit it), submissions run ahead through a
+    sliding window of ``window`` futures, and results are consumed oldest
+    first — out-of-order completions simply wait in their future.  The
+    ``finally`` tears the pool down even when the consumer abandons the
+    stream mid-way (e.g. a mid-query plan switch unwinding).
+    """
+    global _WORKER_STATE
+    previous = _WORKER_STATE
+    _WORKER_STATE = state
+    try:
+        if not use_pool:
+            for index, (first, last) in enumerate(morsels):
+                yield _run_morsel(index, first, last)
+            return
+        context = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context, initializer=_worker_init
+        )
+        try:
+            pending: deque = deque()
+            next_submit = 0
+            while next_submit < len(morsels) and len(pending) < window:
+                first, last = morsels[next_submit]
+                pending.append(pool.submit(_run_morsel, next_submit, first, last))
+                next_submit += 1
+            while pending:
+                result = pending.popleft().result()
+                while next_submit < len(morsels) and len(pending) < window:
+                    first, last = morsels[next_submit]
+                    pending.append(pool.submit(_run_morsel, next_submit, first, last))
+                    next_submit += 1
+                yield result
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    finally:
+        _WORKER_STATE = previous
+
+
+def _execute_morsels(
+    ctx: RuntimeContext,
+    nodes_bottom_up: list[PlanNode],
+    scan: SeqScanNode,
+    table: Table,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+) -> Iterator[list[Row]]:
+    """The merging parent: run morsels, emit the serial-identical stream."""
+    config = ctx.config
+    params = ctx.cost_model.params
+    exact_stats = config.parallel_stats == "exact"
+
+    # Compile every stage kernel under the same cache keys the serial batch
+    # operators use, *before* forking, so workers inherit the closures and
+    # later serial executions of the same plan reuse them.
+    stages: list[_Stage] = []
+    collector_node: StatsCollectorNode | None = None
+    for pnode in nodes_bottom_up:
+        if isinstance(pnode, FilterNode):
+            fn = pnode.compiled(
+                "batch_filter",
+                lambda p=pnode: compile_batch_filter(p.predicates, p.child.schema),
+            )
+            stages.append(_Stage("filter", pnode, fn))
+        elif isinstance(pnode, ProjectNode):
+            fn = pnode.compiled(
+                "batch_project",
+                lambda p=pnode: compile_batch_projector(p.output, p.child.schema),
+            )
+            stages.append(_Stage("project", pnode, fn))
+        else:
+            collector_node = pnode
+            stages.append(_Stage("collect", pnode, None))
+
+    requested = config.parallel_workers or (os.cpu_count() or 1)
+    workers = max(1, min(requested, len(morsels)))
+    use_pool = workers > 1 and _fork_available()
+    if requested > 1 and not _fork_available() and not ctx.parallel.fallback_warned:
+        ctx.parallel.fallback_warned = True
+        warnings.warn(
+            "execution_mode='parallel' requires fork-based multiprocessing; "
+            "running morsels serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not use_pool:
+        workers = 1
+
+    merged: RuntimeCollector | None = None
+    if collector_node is not None:
+        merged = RuntimeCollector(collector_node, collector_node.child.schema, config)
+
+    # Bookkeeping mirrors the serial generators: started on first pull,
+    # per-stage consumed/produced totals for the end-of-stream charges.
+    ctx.mark_started(scan)
+    for pnode in nodes_bottom_up:
+        ctx.mark_started(pnode)
+    telemetry = ctx.parallel
+    telemetry.pipelines += 1
+    telemetry.workers = max(telemetry.workers, workers)
+
+    state = _WorkerState(
+        rows=table.rows,
+        rows_per_page=table.rows_per_page,
+        groups=groups,
+        stages=stages,
+        config=config,
+        exact_stats=exact_stats,
+    )
+    window = _staging_window(ctx, workers, config.morsel_pages)
+
+    access = ctx.buffer_pool.access
+    charge_cpu = ctx.clock.charge_cpu
+    cpu_per_tuple = params.cpu_per_tuple
+    table_id = table.table_id
+    per_page = table.rows_per_page
+    total_rows = table.row_count
+
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    try:
+        results = _results_in_order(state, morsels, workers, use_pool, window)
+        for index, batches, counts, partial, elapsed, pid in results:
+            first_group, last_group = morsels[index]
+            telemetry.morsels += 1
+            telemetry.worker_seconds[pid] = (
+                telemetry.worker_seconds.get(pid, 0.0) + elapsed
+            )
+            for offset, group_index in enumerate(range(first_group, last_group)):
+                first_page, last_page = groups[group_index]
+                # Replay the scan's charges for this page group exactly as
+                # the serial scan interleaves them with its yields.
+                for page_no in range(first_page, last_page):
+                    access(table_id, page_no, sequential=True)
+                    page_rows = min(per_page, total_rows - page_no * per_page)
+                    charge_cpu(page_rows * cpu_per_tuple)
+                    scan_rows += page_rows
+                for position, produced in enumerate(counts[offset]):
+                    stage_rows[position] += produced
+                batch = batches[offset]
+                if merged is not None and exact_stats:
+                    merged.replay_reservoirs(batch)
+                if batch:
+                    yield batch
+            if merged is not None and partial is not None:
+                merged.absorb_partial(partial)
+    finally:
+        # The serial streaming operators charge their totals in `finally`
+        # blocks that fire bottom-up at end of stream (or early close);
+        # replicate both the formulas and the firing order.
+        consumed = scan_rows
+        for position, stage in enumerate(stages):
+            if stage.kind == "filter":
+                per_row = (
+                    max(1, len(stage.node.predicates)) * params.cpu_per_compare
+                )
+                ctx.clock.charge_cpu(consumed * per_row)
+            elif stage.kind == "project":
+                ctx.clock.charge_cpu(consumed * params.cpu_per_tuple)
+            consumed = stage_rows[position]
+
+    # Everything past this point only happens on a full drain, matching the
+    # serial collector's after-loop (not `finally`) semantics.
+    if merged is not None:
+        per_row = (
+            params.cpu_stats_per_tuple
+            + collector_node.spec.statistic_count * params.cpu_stats_per_statistic
+        )
+        ctx.clock.charge_stats_cpu(merged.row_count * per_row)
+        observed = merged.finalize()
+        ctx.observed[collector_node.node_id] = observed
+        if ctx.controller is not None:
+            ctx.controller.on_collector_complete(collector_node, observed)
+    ctx.mark_completed(scan, scan_rows)
+    for position, pnode in enumerate(nodes_bottom_up):
+        ctx.mark_completed(pnode, stage_rows[position])

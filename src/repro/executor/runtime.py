@@ -69,6 +69,30 @@ class ExecutionController(Protocol):
 
 
 @dataclass
+class ParallelExecStats:
+    """Morsel-execution telemetry accumulated over one query run.
+
+    Purely observational (wall-clock, worker identities): nothing here may
+    feed back into simulated costs or statistics, which stay bit-identical
+    to the serial batch path by construction.
+    """
+
+    #: Largest effective pool size used by any parallel pipeline (0 until
+    #: the first pipeline runs; 1 when every pipeline fell back to serial).
+    workers: int = 0
+    #: Total morsels executed across all parallel pipelines.
+    morsels: int = 0
+    #: Number of leaf pipelines that took the morsel-parallel path.
+    pipelines: int = 0
+    #: Busy wall-clock seconds per worker process id (the parent's pid for
+    #: in-process fallback morsels).
+    worker_seconds: dict[int, float] = field(default_factory=dict)
+    #: Set once a requested multi-worker pool degraded to serial execution
+    #: (platform without ``fork``), so the warning fires once per run.
+    fallback_warned: bool = False
+
+
+@dataclass
 class RuntimeContext:
     """Mutable state shared by all operators of one query execution."""
 
@@ -94,10 +118,15 @@ class RuntimeContext:
     switches: int = 0
     #: Count of memory re-allocations performed so far.
     reallocations: int = 0
+    #: Morsel-parallel telemetry (populated by :mod:`repro.executor.parallel`).
+    parallel: ParallelExecStats = field(default_factory=ParallelExecStats)
+    #: The query's total workspace budget in pages; the parallel executor
+    #: bounds its in-flight morsel staging by what the allocation left free.
+    memory_budget_pages: int = 0
 
     @property
     def execution_mode(self) -> str:
-        """Tuple-at-a-time (``"row"``) or vectorized (``"batch"``) execution."""
+        """``"row"``, ``"batch"`` or ``"parallel"`` execution."""
         return self.config.execution_mode
 
     @property

@@ -69,6 +69,89 @@ class Reservoir:
                 sample[slot] = values[index]
         self.seen = seen
 
+    def merge(self, other: "Reservoir", rng: random.Random | None = None) -> None:
+        """Fold another reservoir into this one (weighted union sampling).
+
+        After merging, this reservoir holds a uniform random sample of the
+        *combined* population: each retained element of either input stands
+        for ``seen / len(sample)`` population values, and elements are drawn
+        from the two (shuffled) samples with probability proportional to the
+        unrepresented population weight remaining on each side — the
+        standard distributed-reservoir union.  When both inputs are
+        exhaustive (``seen <= capacity`` combined) the merge is a plain
+        concatenation and stays exhaustive.
+
+        ``rng`` selects the randomness source for the weighted draw (the
+        parallel executor passes a dedicated merge RNG so results depend
+        only on morsel order, never on worker scheduling); by default this
+        reservoir's own RNG is used.
+        """
+        if other.seen == 0:
+            return
+        if self.capacity != other.capacity:
+            raise StatisticsError(
+                f"cannot merge reservoirs of capacity {other.capacity} "
+                f"into {self.capacity}"
+            )
+        if self.seen == 0:
+            self.seen = other.seen
+            self._sample = list(other._sample)
+            return
+        total = self.seen + other.seen
+        if total <= self.capacity:
+            self._sample.extend(other._sample)
+            self.seen = total
+            return
+        rng = self._rng if rng is None else rng
+        ours = list(self._sample)
+        theirs = list(other._sample)
+        rng.shuffle(ours)
+        rng.shuffle(theirs)
+        # Remaining population weight on each side; consumed in per-element
+        # decrements so early draws from a side make later ones less likely.
+        weight_ours = float(self.seen)
+        weight_theirs = float(other.seen)
+        step_ours = weight_ours / len(ours)
+        step_theirs = weight_theirs / len(theirs)
+        merged: list = []
+        i = j = 0
+        target = min(self.capacity, len(ours) + len(theirs))
+        while len(merged) < target:
+            if i >= len(ours):
+                merged.append(theirs[j])
+                j += 1
+                continue
+            if j >= len(theirs):
+                merged.append(ours[i])
+                i += 1
+                continue
+            if rng.random() * (weight_ours + weight_theirs) < weight_ours:
+                merged.append(ours[i])
+                i += 1
+                weight_ours -= step_ours
+            else:
+                merged.append(theirs[j])
+                j += 1
+                weight_theirs -= step_theirs
+        self._sample = merged
+        self.seen = total
+
+    def __getstate__(self) -> dict:
+        """Compact picklable state (workers ship reservoirs back by value)."""
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "sample": list(self._sample),
+            "rng": self._rng.getstate(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.seen = state["seen"]
+        self._sample = list(state["sample"])
+        self._rng = random.Random()
+        self._rng.setstate(state["rng"])
+
     @property
     def sample(self) -> Sequence:
         """The current sample (length ``min(capacity, seen)``)."""
