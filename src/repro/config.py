@@ -49,6 +49,26 @@ def _default_parallel_workers() -> int:
         return 0
 
 
+def _env_flag(name: str) -> bool:
+    """An on-by-default boolean knob: any value but 0/false/empty is on."""
+    return os.environ.get(name, "1") not in ("0", "false", "False", "")
+
+
+def _default_parallel_joins() -> bool:
+    """Probe-side join parallelism default (``REPRO_PARALLEL_JOINS``)."""
+    return _env_flag("REPRO_PARALLEL_JOINS")
+
+
+def _default_parallel_preagg() -> bool:
+    """Worker pre-aggregation default (``REPRO_PARALLEL_PREAGG``)."""
+    return _env_flag("REPRO_PARALLEL_PREAGG")
+
+
+def _default_parallel_prefetch() -> bool:
+    """Result read-ahead default (``REPRO_PARALLEL_PREFETCH``)."""
+    return _env_flag("REPRO_PARALLEL_PREFETCH")
+
+
 @dataclass(frozen=True)
 class CostParameters:
     """Unit costs for the simulated execution clock.
@@ -168,6 +188,21 @@ class EngineConfig:
     #: which is schedule-independent but yields a different (equally valid)
     #: sample than serial execution.
     parallel_stats: str = "exact"
+    #: Whether hash joins fan their probe side across the worker pool once
+    #: the build side has materialized (workers inherit the hash table
+    #: copy-on-write).  Off restricts parallelism to leaf pipelines, the
+    #: pre-PR-4 behaviour.
+    parallel_joins: bool = field(default_factory=_default_parallel_joins)
+    #: Whether workers pre-aggregate associative aggregates (COUNT/MIN/MAX
+    #: and integer SUM) and ship per-group partials instead of rows.
+    #: Output bytes are identical either way; float SUM/AVG pipelines
+    #: never pre-aggregate regardless.
+    parallel_preagg: bool = field(default_factory=_default_parallel_preagg)
+    #: Whether a per-partition read-ahead thread in the parent stages
+    #: (deserializes) the next morsel results while earlier partitions are
+    #: still merging — overlapping real unpickling work with simulated-I/O
+    #: replay the way a spill reader prefetches its next partition.
+    parallel_prefetch: bool = field(default_factory=_default_parallel_prefetch)
     #: Whether :meth:`Database.execute` serves repeated statements from the
     #: statistics-epoch plan cache.  Disabling forces cold preparation on
     #: every call; results and simulated-cost profiles are identical either
@@ -215,6 +250,11 @@ class EngineConfig:
             raise ConfigError(
                 f"parallel_stats must be 'exact' or 'merge', got {self.parallel_stats!r}"
             )
+        for flag in ("parallel_joins", "parallel_preagg", "parallel_prefetch"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ConfigError(
+                    f"{flag} must be a bool, got {getattr(self, flag)!r}"
+                )
         if self.plan_cache_size <= 0:
             raise ConfigError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"

@@ -212,16 +212,11 @@ class Database:
         use_cache = use_cache and self.config.plan_cache_enabled
         epoch = self.catalog.stats_epoch
         exec_mode = execution_mode or self.config.execution_mode
-        # A plan prepared for parallel leaf pipelines is specialized to its
-        # worker count (morsel fan-out, staging windows); never serve it to
-        # the serial executor or a differently-sized pool, and vice versa.
-        if exec_mode == "parallel":
-            resolved_workers = (
-                workers if workers is not None else self.config.parallel_workers
-            )
-            exec_mode_key = f"parallel/w{resolved_workers}"
-        else:
-            exec_mode_key = exec_mode
+        # A plan prepared for parallel pipelines is specialized to its
+        # worker count and fan-out toggles (morsel assignment, staging
+        # windows, which pipelines parallelize); never serve it to the
+        # serial executor or a differently-shaped pool, and vice versa.
+        exec_mode_key = PlanCache.execution_key(self.config, exec_mode, workers)
 
         if parametric and has_parameter_predicates(query):
             return self._prepare_parametric(
@@ -539,9 +534,19 @@ class Database:
             workers=ctx.parallel.workers,
             morsels=ctx.parallel.morsels,
             parallel_pipelines=ctx.parallel.pipelines,
-            worker_wall_s={
-                str(pid): round(seconds, 6)
-                for pid, seconds in sorted(ctx.parallel.worker_seconds.items())
+            parallel_join_pipelines=ctx.parallel.join_pipelines,
+            parallel_preagg_pipelines=ctx.parallel.preagg_pipelines,
+            parallel_rows_shipped=ctx.parallel.rows_shipped,
+            parallel_rows_preaggregated=ctx.parallel.rows_preaggregated,
+            parallel_prefetched_morsels=ctx.parallel.prefetched_morsels,
+            pipeline_wall_s={
+                str(pipeline): {
+                    str(pid): round(secs, 6)
+                    for pid, secs in sorted(per_worker.items())
+                }
+                for pipeline, per_worker in sorted(
+                    ctx.parallel.pipeline_worker_seconds.items()
+                )
             },
             events=list(controller.events) if controller else [],
             plan_explanations=[explain_plan(p) for p in outcome.plan_history],

@@ -82,17 +82,42 @@ class ExecutionProfile:
     plan_cache_hit: bool = False
     #: Morsel-parallel execution telemetry (``execution_mode="parallel"``;
     #: all zero/empty otherwise).  ``workers`` is the largest pool used by
-    #: any leaf pipeline, ``morsels`` the total morsels executed,
-    #: ``parallel_pipelines`` how many pipelines fanned out, and
-    #: ``worker_wall_s`` maps worker process id to busy wall-clock seconds
-    #: — wall-clock observations only, never part of the simulated cost.
+    #: any pipeline, ``morsels`` the total morsels executed,
+    #: ``parallel_pipelines`` how many pipelines fanned out (of which
+    #: ``parallel_join_pipelines`` were probe-side hash joins and
+    #: ``parallel_preagg_pipelines`` pre-aggregated in the workers), and
+    #: ``pipeline_wall_s`` maps pipeline id (``"1"``.. in execution order)
+    #: to per-worker-pid busy wall-clock seconds — wall-clock observations
+    #: only, never part of the simulated cost.  ``parallel_rows_shipped``
+    #: counts rows pickled from workers to the merge point;
+    #: ``parallel_rows_preaggregated`` counts pipeline-output rows folded
+    #: into worker-side partials instead of being shipped.
     workers: int = 0
     morsels: int = 0
     parallel_pipelines: int = 0
-    worker_wall_s: dict[str, float] = field(default_factory=dict)
+    parallel_join_pipelines: int = 0
+    parallel_preagg_pipelines: int = 0
+    parallel_rows_shipped: int = 0
+    parallel_rows_preaggregated: int = 0
+    parallel_prefetched_morsels: int = 0
+    pipeline_wall_s: dict[str, dict[str, float]] = field(default_factory=dict)
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
+
+    @property
+    def worker_wall_s(self) -> dict[str, float]:
+        """Busy wall-clock seconds per worker pid, across all pipelines.
+
+        Backwards-compatible aggregate of :attr:`pipeline_wall_s`, which
+        earlier versions stored directly (then covering leaf pipelines
+        only, the sole parallel pipeline shape at the time).
+        """
+        totals: dict[str, float] = {}
+        for per_worker in self.pipeline_wall_s.values():
+            for pid, seconds in per_worker.items():
+                totals[pid] = round(totals.get(pid, 0.0) + seconds, 6)
+        return totals
 
     @property
     def stats_overhead_fraction(self) -> float:

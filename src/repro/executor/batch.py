@@ -288,6 +288,25 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> BatchIterator:
     # --- plan-switch window: build done, probe not started ---
     directive = ctx.take_switch_for(node.node_id)
 
+    # With the build side materialized (and the switch window resolved),
+    # a leaf-extractable probe child can fan out across the morsel worker
+    # pool: forked workers inherit the finished hash table copy-on-write
+    # and run the probe lookup as the pipeline's top stage.  The merged
+    # stream — batches, charges, statistics — is byte-identical to
+    # probe_batches() below, so a pending switch spools the same temp
+    # table either way.
+    if ctx.execution_mode == "parallel":
+        from .parallel import morsel_probe_pipeline
+
+        parallel_probe = morsel_probe_pipeline(
+            node, ctx, hash_table, build_pages, grant
+        )
+        if parallel_probe is not None:
+            if directive is not None:
+                _materialize_and_switch(node, ctx, directive, parallel_probe)
+            yield from parallel_probe
+            return
+
     def probe_batches() -> BatchIterator:
         probe_count = 0
         output_count = 0
@@ -499,27 +518,40 @@ def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> BatchIterat
     groups: dict[object, list[_AggState]] = {}
     input_rows = 0
     grant: int | None = None
-    for batch in execute_node_batches(node.child, ctx):
-        if grant is None:
-            grant = ctx.commit_memory(node)
-        input_rows += len(batch)
-        if get_key is None:
-            buckets = {(): batch}
-        else:
-            buckets = {}
-            setdefault = buckets.setdefault
-            for key, row in zip(map(get_key, batch), batch):
-                setdefault(key, []).append(row)
-        for key, rows_ in buckets.items():
-            states = groups.get(key)
-            if states is None:
-                states = [_AggState(func) for __, func, __unused in agg_items]
-                groups[key] = states
-            for state, (__, __f, arg_fn) in zip(states, agg_items):
-                if arg_fn is None:
-                    state.count += len(rows_)  # COUNT(*): update(1) per row
-                else:
-                    state.update_batch(list(map(arg_fn, rows_)))
+    preaggregated = None
+    if ctx.execution_mode == "parallel":
+        from .parallel import morsel_preaggregate
+
+        # Workers fold their morsels into per-group partials and ship
+        # those instead of rows; partials merge in morsel order, so group
+        # states, group order and every output byte match the serial fold.
+        # Returns None (and we fold serially below) whenever any aggregate
+        # is non-associative at the bit level (AVG, float SUM).
+        preaggregated = morsel_preaggregate(node, ctx)
+    if preaggregated is not None:
+        groups, input_rows, grant = preaggregated
+    else:
+        for batch in execute_node_batches(node.child, ctx):
+            if grant is None:
+                grant = ctx.commit_memory(node)
+            input_rows += len(batch)
+            if get_key is None:
+                buckets = {(): batch}
+            else:
+                buckets = {}
+                setdefault = buckets.setdefault
+                for key, row in zip(map(get_key, batch), batch):
+                    setdefault(key, []).append(row)
+            for key, rows_ in buckets.items():
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(func) for __, func, __unused in agg_items]
+                    groups[key] = states
+                for state, (__, __f, arg_fn) in zip(states, agg_items):
+                    if arg_fn is None:
+                        state.count += len(rows_)  # COUNT(*): update(1) per row
+                    else:
+                        state.update_batch(list(map(arg_fn, rows_)))
     if grant is None:
         grant = ctx.commit_memory(node)
     if not node.group_by and not groups:

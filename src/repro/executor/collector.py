@@ -325,6 +325,20 @@ class RuntimeCollector:
         for position, reservoir in self._reservoirs.values():
             reservoir.add_batch(list(map(itemgetter(position), rows)))
 
+    def replay_reservoir_values(self, values_by_column: dict[str, list]) -> None:
+        """Offer pre-extracted column values to the reservoirs (exact mode).
+
+        The probe-side and pre-aggregating parallel pipelines do not ship
+        the collector's input rows (they ship joined rows or aggregate
+        partials), so workers extract each reservoir column's values and
+        ship those instead.  Each reservoir's sampling stream depends only
+        on its own column's value sequence, so replaying per-morsel value
+        runs in morsel order is bit-identical to the serial row stream.
+        """
+        for column, values in values_by_column.items():
+            if values:
+                self._reservoirs[column][1].add_batch(values)
+
     def finalize(self) -> ObservedStatistics:
         """Turn the accumulated state into observed statistics."""
         histograms: dict[str, Histogram] = {}

@@ -544,6 +544,26 @@ class _AggState:
             if best is not None and (self.maximum is None or best > self.maximum):
                 self.maximum = best
 
+    def merge(self, other: "_AggState") -> None:
+        """Fold another partial state (from a later input run) into this one.
+
+        Exact only when the aggregate's fold is associative down to the
+        bit: COUNT and integer SUM (integer addition regroups freely) and
+        MIN/MAX, whose strict comparisons keep the earlier occurrence just
+        like the serial fold.  Float SUM/AVG partials must not be merged —
+        the parallel pre-aggregation gate excludes them.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+
     def result(self):
         if self.func is AggFunc.COUNT:
             return self.count

@@ -145,6 +145,23 @@ class MemoryManager:
         return [base + 1 if i < extra else base for i in range(partitions)]
 
     @staticmethod
+    def staging_windows(
+        free_pages: int, partitions: int, morsel_pages: int, cap: int
+    ) -> list[int]:
+        """Per-partition staging windows for the morsel-parallel executor.
+
+        Each partition worker's :meth:`split_grant` share of the workspace
+        pages the operator allocation left free is converted into a count
+        of unmerged morsel results it may hold — at least one (a tight
+        budget degrades throughput instead of deadlocking) and at most
+        ``cap`` (the merge point must not hoard results).
+        """
+        shares = MemoryManager.split_grant(max(0, free_pages), partitions)
+        return [
+            max(1, min(share // max(1, morsel_pages), cap)) for share in shares
+        ]
+
+    @staticmethod
     def _grant_max_or_min(
         demands: Sequence[MemoryDemand], budget: int, grants: dict[int, int]
     ) -> None:

@@ -1,46 +1,80 @@
-"""Morsel-driven parallel execution of leaf pipelines.
+"""Morsel-driven parallel execution of leaf and probe-side join pipelines.
 
 ``execution_mode="parallel"`` keeps the whole engine on the batch path and
-adds one thing: a *leaf pipeline* — a base-table sequential scan plus its
-stack of streaming operators (filters, projections, optionally the
-SCIA-placed statistics collector at the top) — is split into fixed-size
-page-range **morsels** and fanned across a fork-based worker pool
-(Leis et al.'s morsel-driven parallelism, adapted to a Python engine where
-processes, not threads, are the unit of CPU parallelism).
+adds one thing: a *pipeline* — a chain of streaming operators over a
+base-table sequential scan — is split into fixed-size page-range **morsels**
+and fanned across fork-based worker processes (Leis et al.'s morsel-driven
+parallelism, adapted to a Python engine where processes, not threads, are
+the unit of CPU parallelism).  Three pipeline shapes qualify:
 
-Workers are forked, so they inherit the loaded catalog and the precompiled
-batch kernels copy-on-write; a task ships only three integers (morsel
-index, page-group range) and the result ships back the compact surviving
-row batches, per-stage output counts and a mergeable statistics partial
-(:class:`~repro.executor.collector.CollectorPartial`).
+* **Leaf pipelines** — filters/projections (optionally a SCIA-placed
+  statistics collector at the top) over a sequential scan.
+* **Probe-side hash-join pipelines** — once a hash join's build side is
+  materialised (a blocking point the re-optimizer already respects, and the
+  window in which pending plan switches are claimed), workers are forked
+  and inherit the completed read-only hash table copy-on-write; the probe
+  child's page groups are replayed as morsels and each worker runs the
+  probe lookup (plus any residual predicates) as the pipeline's top stage,
+  shipping back joined rows.
+* **Pre-aggregating pipelines** — when a hash aggregate's input pipeline is
+  leaf-extractable and every aggregate merges exactly (COUNT/MIN/MAX, and
+  SUM only over integer inputs, where addition is associative down to the
+  bit), each worker folds its morsel into per-group
+  :class:`~repro.executor.iterators._AggState` partials and ships those
+  tiny partials instead of the surviving rows.
+
+Workers are forked, so they inherit the loaded catalog, the precompiled
+batch kernels and (for probe pipelines) the hash table copy-on-write; a
+worker's assignment is **range-affine**: the morsel list is cut into one
+contiguous page range per worker, so copy-on-write first-touch faults cover
+disjoint heap slices, and each worker owns a stable partition id — the same
+identity a hybrid-hash spill file would carry.  Results stream back over a
+per-partition pipe; with ``parallel_prefetch`` on, a per-partition
+read-ahead thread in the parent stages (unpickles) the next partition's
+results while the merge loop is still replaying the current partition's
+simulated I/O — overlapping real deserialisation work with the charge
+replay exactly the way a spill reader would prefetch the next partition.
+A per-partition semaphore window (sized from the workspace pages the
+Memory Manager's allocation left free) bounds how far a worker may run
+ahead of the merge point.
 
 Determinism contract — the whole point of the design:
 
-* **Rows**: morsel results are merged strictly in morsel order, and within
-  a morsel in page-group order, where a *page group* is exactly the run of
-  pages the serial batch scan would have accumulated into one batch.  The
-  merged stream is therefore byte-identical to the serial batch stream,
-  batch boundaries included.
+* **Rows**: morsel results are merged strictly in morsel order (partitions
+  are consumed in partition order, which *is* morsel order, because the
+  assignment is range-affine), and within a morsel in page-group order,
+  where a *page group* is exactly the run of pages the serial batch scan
+  would have accumulated into one batch.  The merged stream is therefore
+  byte-identical to the serial batch stream, batch boundaries included —
+  for probe pipelines the serial stream in question is the hash join's
+  probe loop, whose per-input-batch output batches the probe stage
+  reproduces exactly.
 * **Simulated cost**: workers never touch the parent's cost clock or
   buffer pool.  The parent *replays* each page group's charges (buffer
   access + per-page CPU) at the moment it merges that group, and the
-  streaming operators' end-of-stream totals are charged from exact integer
-  row counts — so the float accumulation order of every cost bucket is
+  streaming operators' end-of-stream totals — the hash join's probe charge
+  included — are charged from exact integer row counts in the serial
+  firing order, so every cost bucket's float accumulation order is
   identical to serial execution, making ``CostBreakdown`` bit-for-bit
   equal, not just close.
 * **Statistics**: counts, min/max and distinct sketches merge losslessly
   (sums, order-free folds, bitmap OR).  Reservoir samples are the one
   RNG-dependent statistic: with ``parallel_stats="exact"`` (default) the
-  parent replays the serial sampling RNG over the merged output rows in
-  morsel order — bit-identical histograms, so re-optimization decisions
-  cannot diverge from the batch path; with ``"merge"`` each morsel samples
-  under an index-derived seed and samples merge weighted, which is
-  schedule-independent (1, 2 or 7 workers agree) but not serial-identical.
-
-Worker-side hash partitioning and partial pre-aggregation were considered
-and deliberately excluded: float SUM/AVG is non-associative, so regrouping
-additions across workers would break byte-identical results on TPC-D's
-float measures (see ROADMAP open items for the integer-aggregate variant).
+  parent replays the serial sampling RNG over the collector's input values
+  in morsel order — from the merged output rows when the collector tops
+  the pipeline, from shipped per-morsel value columns when a probe stage
+  or pre-aggregation sits above it — bit-identical histograms, so
+  re-optimization decisions cannot diverge from the batch path; with
+  ``"merge"`` each morsel samples under an index-derived seed and samples
+  merge weighted, which is schedule-independent (1, 2 or 7 workers agree)
+  but not serial-identical.
+* **Aggregates**: worker partials merge in morsel order with
+  :meth:`~repro.executor.iterators._AggState.merge`, so first-occurrence
+  group order — which fixes the aggregate's output order — matches the
+  serial fold.  Float SUM/AVG never pre-aggregate: float addition is
+  non-associative, so regrouping additions across workers could change
+  output bytes on TPC-D's float measures; those pipelines ship rows and
+  fold serially in the parent, same as before.
 
 Platforms without ``fork`` (or a single-worker configuration) execute the
 same morsel loop in-process — identical results and charges, no speedup —
@@ -52,24 +86,34 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import threading
 import time
+import traceback
 import warnings
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from operator import itemgetter
 from typing import Callable, Iterator
 
 from ..config import EngineConfig
+from ..errors import ExecutionError
+from ..optimizer.cost_model import pages_for
+from ..plans.logical import AggFunc, infer_dtype
 from ..plans.physical import (
     FilterNode,
+    HashAggregateNode,
+    HashJoinNode,
     PlanNode,
     ProjectNode,
     SeqScanNode,
     StatsCollectorNode,
 )
 from ..stats.distinct import _mix64
+from ..storage.schema import DataType
 from ..storage.table import Row, Table
 from .collector import CollectorPartial, RuntimeCollector
+from .iterators import _AggState, aggregate_items, hash_join_keys, key_extractor
 from .memory import MemoryManager
 from .runtime import RuntimeContext
 from .vector import compile_batch_filter, compile_batch_projector
@@ -85,11 +129,35 @@ _MAX_STAGED_PER_WORKER = 4
 
 @dataclass
 class _Stage:
-    """One streaming operator of a leaf pipeline, ready for a worker."""
+    """One streaming operator of a pipeline, ready for a worker.
 
-    kind: str  # "filter" | "project" | "collect"
+    ``kind`` is ``"filter"``/``"project"`` (compiled batch kernels),
+    ``"collect"`` (the statistics collector; ``fn`` unused) or ``"probe"``
+    (the hash join's probe lookup over the inherited hash table; ``node``
+    is the join itself, whose start/complete bookkeeping belongs to the
+    enclosing batch executor, not to this pipeline).
+    """
+
+    kind: str  # "filter" | "project" | "collect" | "probe"
     node: PlanNode
     fn: Callable[[list], list] | None
+
+
+@dataclass
+class _PreAgg:
+    """Worker-side pre-aggregation fold, compiled in the parent."""
+
+    get_key: Callable[[Row], object] | None
+    agg_items: tuple
+
+
+@dataclass
+class _ProbeTask:
+    """Parent-side bookkeeping for a probe pipeline's end-of-stream charge."""
+
+    node: HashJoinNode
+    build_pages: int
+    grant: int
 
 
 @dataclass
@@ -99,14 +167,54 @@ class _WorkerState:
     rows: list[Row]
     rows_per_page: int
     groups: list[tuple[int, int]]
+    morsels: list[tuple[int, int]]
     stages: list[_Stage]
     config: EngineConfig
     exact_stats: bool
+    #: ``(column, position)`` pairs whose collector-input values each morsel
+    #: ships for the parent's exact-mode reservoir replay — non-empty only
+    #: when the collector's input rows are not shipped as-is (a probe stage
+    #: or pre-aggregation sits above the collector).
+    replay_positions: tuple[tuple[str, int], ...] = ()
+    preagg: _PreAgg | None = None
+
+
+@dataclass
+class _MorselResult:
+    """One morsel's output, shipped from a worker to the merging parent."""
+
+    index: int
+    #: Per page group: the pipeline's output batch (``None`` for pre-
+    #: aggregated morsels, which ship ``groups_out`` instead).
+    batches: list[list[Row]] | None
+    #: Per page group: per-stage output counts, for end-of-stream charges.
+    counts: list[tuple[int, ...]]
+    partial: CollectorPartial | None
+    #: Collector-input values per replay column (exact-mode reservoir
+    #: replay when rows are not shipped), concatenated in stream order.
+    replay: dict[str, list] | None
+    #: Pre-aggregation partials: group key -> per-aggregate states, in
+    #: first-occurrence order within the morsel.
+    groups_out: dict | None
+    shipped_rows: int
+    elapsed: float
+    pid: int
+
+
+@dataclass
+class _WorkerFailure:
+    """Shipped (or synthesised) in place of a result when a worker dies."""
+
+    partition_id: int
+    message: str
+    details: str = ""
 
 
 #: The pipeline being executed, published for forked workers.  Set by the
-#: parent immediately before creating a pool (workers fork at first submit
-#: and inherit it); one pipeline runs at a time, so a single slot suffices.
+#: parent immediately before forking the partition workers (children
+#: inherit it); pipelines never overlap — a probe pipeline only starts
+#: after the pipelines feeding its build side drained — so one slot
+#: suffices, with save/restore for in-process fallback nesting.
 _WORKER_STATE: _WorkerState | None = None
 
 
@@ -135,19 +243,48 @@ def _worker_init() -> None:
     gc.disable()
 
 
-def _run_morsel(
-    index: int, first_group: int, last_group: int
-) -> tuple[int, list[list[Row]], list[tuple[int, ...]], CollectorPartial | None, float, int]:
+def _fold_batch(groups: dict, batch: list[Row], preagg: _PreAgg) -> None:
+    """Fold one pipeline-output batch into per-group aggregate states.
+
+    Replicates the serial batch aggregate's inner loop exactly: the batch
+    is bucketed by key first (insertion order = first occurrence within the
+    batch), then each aggregate folds a whole per-group value run — so
+    per-worker partials are the states a serial fold over the same rows
+    would have produced.
+    """
+    get_key = preagg.get_key
+    if get_key is None:
+        buckets = {(): batch}
+    else:
+        buckets = {}
+        setdefault = buckets.setdefault
+        for key, row in zip(map(get_key, batch), batch):
+            setdefault(key, []).append(row)
+    agg_items = preagg.agg_items
+    for key, rows_ in buckets.items():
+        states = groups.get(key)
+        if states is None:
+            states = [_AggState(func) for __, func, __unused in agg_items]
+            groups[key] = states
+        for state, (__, __f, arg_fn) in zip(states, agg_items):
+            if arg_fn is None:
+                state.count += len(rows_)  # COUNT(*): update(1) per row
+            else:
+                state.update_batch(list(map(arg_fn, rows_)))
+
+
+def _run_morsel(index: int) -> _MorselResult:
     """Execute the published pipeline over one morsel of page groups.
 
     Runs inside a forked worker (or inline on the serial fallback path).
-    Returns per-group output batches and per-stage output counts aligned
-    with the group range, plus the collector partial for the whole morsel.
+    Returns per-group output batches (or pre-aggregated partials) and
+    per-stage output counts, plus the collector partial for the morsel.
     """
     state = _WORKER_STATE
     started = time.perf_counter()
     rows = state.rows
     per_page = state.rows_per_page
+    first_group, last_group = state.morsels[index]
     collector: RuntimeCollector | None = None
     for stage in state.stages:
         if stage.kind == "collect":
@@ -162,21 +299,46 @@ def _run_morsel(
                     else _morsel_seed(state.config.seed, index)
                 ),
             )
-    batches: list[list[Row]] = []
+    replay_positions = state.replay_positions
+    replay: dict[str, list] | None = (
+        {column: [] for column, __ in replay_positions} if replay_positions else None
+    )
+    preagg = state.preagg
+    groups_out: dict | None = {} if preagg is not None else None
+    batches: list[list[Row]] | None = None if preagg is not None else []
     counts: list[tuple[int, ...]] = []
+    shipped = 0
     for first_page, last_page in state.groups[first_group:last_group]:
         out: list[Row] = rows[first_page * per_page : last_page * per_page]
         group_counts = []
         for stage in state.stages:
             if stage.kind == "collect":
                 collector.observe_batch(out)
+                if replay is not None and out:
+                    for column, position in replay_positions:
+                        replay[column].extend(map(itemgetter(position), out))
             else:
                 out = stage.fn(out)
             group_counts.append(len(out))
-        batches.append(out)
         counts.append(tuple(group_counts))
+        if preagg is not None:
+            if out:
+                _fold_batch(groups_out, out, preagg)
+        else:
+            batches.append(out)
+            shipped += len(out)
     partial = collector.export_partial() if collector is not None else None
-    return index, batches, counts, partial, time.perf_counter() - started, os.getpid()
+    return _MorselResult(
+        index=index,
+        batches=batches,
+        counts=counts,
+        partial=partial,
+        replay=replay,
+        groups_out=groups_out,
+        shipped_rows=shipped,
+        elapsed=time.perf_counter() - started,
+        pid=os.getpid(),
+    )
 
 
 def _page_groups(table: Table, batch_size: int) -> list[tuple[int, int]]:
@@ -224,118 +386,100 @@ def _group_morsels(
     return morsels
 
 
-def _staging_window(ctx: RuntimeContext, workers: int, morsel_pages: int) -> int:
-    """How many morsels may be in flight (executing or staged) at once.
+def _partition_morsels(
+    morsels: list[tuple[int, int]],
+    groups: list[tuple[int, int]],
+    partitions: int,
+) -> list[tuple[int, int]]:
+    """Range-affine assignment: one contiguous morsel range per worker.
 
-    The Memory Manager's operator grants come first: each worker receives
-    an equal :meth:`~repro.executor.memory.MemoryManager.split_grant` share
-    of whatever workspace pages the allocation left free, and may hold at
-    most that many pages of unmerged results (at least one morsel, at most
-    ``_MAX_STAGED_PER_WORKER``, so a tight budget degrades throughput
-    instead of failing).
+    Ranges are balanced by page count (each boundary advances while adding
+    the next morsel moves the running total closer to the partition's ideal
+    share), every partition receives at least one morsel, and the ranges
+    concatenate to the full morsel list — so consuming partitions in
+    partition order *is* consuming morsels in morsel order.  Contiguity is
+    what makes the assignment copy-on-write friendly (each worker's
+    first-touch faults cover one disjoint slice of the inherited row heap)
+    and gives each worker a stable partition id, the identity a per-worker
+    spill file would carry.
+    """
+    weights = [groups[last - 1][1] - groups[first][0] for first, last in morsels]
+    total = sum(weights)
+    count = len(morsels)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    acc = 0
+    for partition_id in range(partitions):
+        if partition_id == partitions - 1:
+            bounds.append((start, count))
+            break
+        target = total * (partition_id + 1) / partitions
+        end = start + 1
+        acc += weights[start]
+        max_end = count - (partitions - partition_id - 1)
+        while end < max_end and abs(acc + weights[end] - target) <= abs(acc - target):
+            acc += weights[end]
+            end += 1
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def _staging_windows(
+    ctx: RuntimeContext, workers: int, morsel_pages: int
+) -> list[int]:
+    """Per-worker caps on morsels in flight (executing or staged) at once.
+
+    The Memory Manager's operator grants come first: the workspace pages
+    the allocation left free are split across the workers and each share is
+    converted into a window of unmerged morsel results (at least one morsel
+    so a tight budget degrades throughput instead of deadlocking, at most
+    ``_MAX_STAGED_PER_WORKER``).
     """
     budget = ctx.memory_budget_pages or ctx.config.query_memory_pages
     staging = max(0, budget - sum(ctx.allocation.values()))
-    smallest_share = MemoryManager.split_grant(staging, workers)[-1]
-    per_worker = max(1, min(smallest_share // max(1, morsel_pages), _MAX_STAGED_PER_WORKER))
-    return workers * per_worker
+    return MemoryManager.staging_windows(
+        staging, workers, morsel_pages, _MAX_STAGED_PER_WORKER
+    )
 
 
-def morsel_pipeline(node: PlanNode, ctx: RuntimeContext) -> Iterator[list[Row]] | None:
-    """A morsel-parallel batch iterator for ``node``, or None to stay serial.
-
-    A subtree qualifies when it is a leaf pipeline — an optional statistics
-    collector over a chain of filters/projections over a base-table
-    sequential scan, with at least one compute stage to fan out — and the
-    table is large enough to split into ``parallel_min_morsels`` morsels.
-    Everything else (joins, blocking operators, index scans, LIMIT subtrees,
-    small tables) executes on the serial batch path unchanged.
-    """
-    config = ctx.config
-    top_down: list[PlanNode] = []
+def _extract_chain(
+    node: PlanNode,
+) -> tuple[list[PlanNode], SeqScanNode] | None:
+    """``(top-down chain, scan)`` when ``node`` roots a leaf-extractable
+    pipeline — an optional statistics collector over filters/projections
+    over a base-table sequential scan — else None."""
+    chain: list[PlanNode] = []
     cur = node
     if isinstance(cur, StatsCollectorNode):
-        top_down.append(cur)
+        chain.append(cur)
         cur = cur.child
     while isinstance(cur, (FilterNode, ProjectNode)):
-        top_down.append(cur)
+        chain.append(cur)
         cur = cur.child
     if not isinstance(cur, SeqScanNode):
         return None
-    if not any(isinstance(s, (FilterNode, ProjectNode)) for s in top_down):
-        return None
-    table = ctx.catalog.table(cur.table_name)
+    return chain, cur
+
+
+def _scan_morsels(
+    ctx: RuntimeContext, scan: SeqScanNode
+) -> tuple[Table, list[tuple[int, int]], list[tuple[int, int]]] | None:
+    """The scan's table, page groups and morsels — None when too small."""
+    table = ctx.catalog.table(scan.table_name)
     groups = _page_groups(table, ctx.batch_size)
-    morsels = _group_morsels(groups, config.morsel_pages)
-    if len(morsels) < config.parallel_min_morsels:
+    morsels = _group_morsels(groups, ctx.config.morsel_pages)
+    if len(morsels) < ctx.config.parallel_min_morsels:
         return None
-    return _execute_morsels(ctx, list(reversed(top_down)), cur, table, groups, morsels)
+    return table, groups, morsels
 
 
-def _results_in_order(
-    state: _WorkerState,
-    morsels: list[tuple[int, int]],
-    workers: int,
-    use_pool: bool,
-    window: int,
-):
-    """Yield morsel results strictly in morsel order.
-
-    Owns the worker pool: ``_WORKER_STATE`` is published before the pool
-    exists (forked children inherit it), submissions run ahead through a
-    sliding window of ``window`` futures, and results are consumed oldest
-    first — out-of-order completions simply wait in their future.  The
-    ``finally`` tears the pool down even when the consumer abandons the
-    stream mid-way (e.g. a mid-query plan switch unwinding).
-    """
-    global _WORKER_STATE
-    previous = _WORKER_STATE
-    _WORKER_STATE = state
-    try:
-        if not use_pool:
-            for index, (first, last) in enumerate(morsels):
-                yield _run_morsel(index, first, last)
-            return
-        context = multiprocessing.get_context("fork")
-        pool = ProcessPoolExecutor(
-            max_workers=workers, mp_context=context, initializer=_worker_init
-        )
-        try:
-            pending: deque = deque()
-            next_submit = 0
-            while next_submit < len(morsels) and len(pending) < window:
-                first, last = morsels[next_submit]
-                pending.append(pool.submit(_run_morsel, next_submit, first, last))
-                next_submit += 1
-            while pending:
-                result = pending.popleft().result()
-                while next_submit < len(morsels) and len(pending) < window:
-                    first, last = morsels[next_submit]
-                    pending.append(pool.submit(_run_morsel, next_submit, first, last))
-                    next_submit += 1
-                yield result
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-    finally:
-        _WORKER_STATE = previous
-
-
-def _execute_morsels(
-    ctx: RuntimeContext,
+def _compile_stages(
     nodes_bottom_up: list[PlanNode],
-    scan: SeqScanNode,
-    table: Table,
-    groups: list[tuple[int, int]],
-    morsels: list[tuple[int, int]],
-) -> Iterator[list[Row]]:
-    """The merging parent: run morsels, emit the serial-identical stream."""
-    config = ctx.config
-    params = ctx.cost_model.params
-    exact_stats = config.parallel_stats == "exact"
-
-    # Compile every stage kernel under the same cache keys the serial batch
-    # operators use, *before* forking, so workers inherit the closures and
-    # later serial executions of the same plan reuse them.
+) -> tuple[list[_Stage], StatsCollectorNode | None]:
+    """Compile every stage kernel under the same cache keys the serial
+    batch operators use, *before* forking, so workers inherit the closures
+    and later serial executions of the same plan reuse them."""
     stages: list[_Stage] = []
     collector_node: StatsCollectorNode | None = None
     for pnode in nodes_bottom_up:
@@ -354,9 +498,50 @@ def _execute_morsels(
         else:
             collector_node = pnode
             stages.append(_Stage("collect", pnode, None))
+    return stages, collector_node
 
-    requested = config.parallel_workers or (os.cpu_count() or 1)
-    workers = max(1, min(requested, len(morsels)))
+
+def _probe_stage_fn(
+    node: HashJoinNode, hash_table: dict
+) -> Callable[[list], list]:
+    """The probe lookup as a batch stage, mirroring the serial probe loop.
+
+    The key extractor and residual kernel compile in the parent under the
+    serial cache keys; the hash table is captured by reference and reaches
+    forked workers copy-on-write.
+    """
+    probe_key = hash_join_keys(node)[1]
+    residual_filter = None
+    if node.residual:
+        residual_filter = node.compiled(
+            "batch_residual",
+            lambda: compile_batch_filter(node.residual, node.schema),
+        )
+    get = hash_table.get
+
+    def probe(batch: list[Row]) -> list[Row]:
+        out: list[Row] = []
+        append = out.append
+        extend = out.extend
+        for prow, matches in zip(batch, map(get, map(probe_key, batch))):
+            if matches is None:
+                continue
+            if len(matches) == 1:
+                append(matches[0] + prow)
+            else:
+                extend([brow + prow for brow in matches])
+        if residual_filter is not None:
+            out = residual_filter(out)
+        return out
+
+    return probe
+
+
+def _resolve_workers(ctx: RuntimeContext, morsel_count: int) -> tuple[int, bool]:
+    """Effective worker count and whether to fork, with the one-time
+    fallback warning when parallelism was requested but fork is missing."""
+    requested = ctx.config.parallel_workers or (os.cpu_count() or 1)
+    workers = max(1, min(requested, morsel_count))
     use_pool = workers > 1 and _fork_available()
     if requested > 1 and not _fork_available() and not ctx.parallel.fallback_warned:
         ctx.parallel.fallback_warned = True
@@ -368,92 +553,651 @@ def _execute_morsels(
         )
     if not use_pool:
         workers = 1
+    return workers, use_pool
 
+
+def morsel_pipeline(node: PlanNode, ctx: RuntimeContext) -> Iterator[list[Row]] | None:
+    """A morsel-parallel batch iterator for ``node``, or None to stay serial.
+
+    A subtree qualifies when it is a leaf pipeline — an optional statistics
+    collector over a chain of filters/projections over a base-table
+    sequential scan, with at least one compute stage to fan out — and the
+    table is large enough to split into ``parallel_min_morsels`` morsels.
+    Everything else (blocking operators, index scans, LIMIT subtrees, small
+    tables) executes on the serial batch path unchanged; hash joins fan out
+    their probe side through :func:`morsel_probe_pipeline` instead.
+    """
+    extracted = _extract_chain(node)
+    if extracted is None:
+        return None
+    chain, scan = extracted
+    if not any(isinstance(s, (FilterNode, ProjectNode)) for s in chain):
+        return None
+    located = _scan_morsels(ctx, scan)
+    if located is None:
+        return None
+    table, groups, morsels = located
+    return _execute_morsels(ctx, list(reversed(chain)), scan, table, groups, morsels)
+
+
+def morsel_probe_pipeline(
+    node: HashJoinNode,
+    ctx: RuntimeContext,
+    hash_table: dict,
+    build_pages: int,
+    grant: int,
+) -> Iterator[list[Row]] | None:
+    """A morsel-parallel probe stream for a hash join, or None to stay serial.
+
+    Called by the batch hash join *after* its build side materialised (so
+    forked workers inherit the finished hash table copy-on-write) and after
+    the plan-switch window — the merged stream is byte-identical to the
+    serial probe loop's, so a pending switch materialises the same temp
+    table either way.  The probe side qualifies when it is leaf-extractable;
+    unlike leaf pipelines a bare sequential scan qualifies too, because the
+    probe lookup itself is the compute stage worth fanning out.
+    """
+    if not ctx.config.parallel_joins:
+        return None
+    extracted = _extract_chain(node.probe)
+    if extracted is None:
+        return None
+    chain, scan = extracted
+    located = _scan_morsels(ctx, scan)
+    if located is None:
+        return None
+    table, groups, morsels = located
+    probe = _ProbeTask(node=node, build_pages=build_pages, grant=grant)
+    return _execute_morsels(
+        ctx,
+        list(reversed(chain)),
+        scan,
+        table,
+        groups,
+        morsels,
+        probe=probe,
+        hash_table=hash_table,
+    )
+
+
+def morsel_preaggregate(
+    node: HashAggregateNode, ctx: RuntimeContext
+) -> tuple[dict, int, int | None] | None:
+    """Run a hash aggregate's input pipeline with worker pre-aggregation.
+
+    Returns ``(groups, input_rows, grant)`` — the merged per-group
+    aggregate states in serial first-occurrence order, the pipeline's
+    output row count, and the committed memory grant (None when the
+    pipeline produced no rows, matching the serial commit-after-loop
+    timing) — or None when the aggregate must stay on the serial fold:
+    pre-aggregation disabled, a non-leaf input pipeline, a table too small
+    to split, or any aggregate whose partials do not merge exactly (AVG,
+    and SUM over float inputs, where addition order changes output bytes).
+    """
+    if not ctx.config.parallel_preagg:
+        return None
+    extracted = _extract_chain(node.child)
+    if extracted is None:
+        return None
+    preagg = _preagg_spec(node)
+    if preagg is None:
+        return None
+    chain, scan = extracted
+    located = _scan_morsels(ctx, scan)
+    if located is None:
+        return None
+    table, groups, morsels = located
+    return _run_preagg(
+        ctx, node, list(reversed(chain)), scan, table, groups, morsels, preagg
+    )
+
+
+def _preagg_spec(node: HashAggregateNode) -> _PreAgg | None:
+    """The pre-aggregation fold when every aggregate merges exactly.
+
+    COUNT partials are integer sums; MIN/MAX merge by (strict) comparison,
+    which keeps the earlier occurrence exactly like the serial fold; SUM
+    merges by addition, which is only associative — bit-for-bit — for
+    integers, so it is gated on the argument's inferred dtype.  AVG and
+    float SUM disqualify the whole aggregate (see module docstring).
+    """
+    child_schema = node.child.schema
+    group_positions, agg_items, __ = aggregate_items(node)
+    for out_index, func, __arg in agg_items:
+        if func is AggFunc.COUNT:
+            continue
+        if func in (AggFunc.MIN, AggFunc.MAX):
+            continue
+        expr = node.output[out_index].expr
+        if (
+            func is AggFunc.SUM
+            and expr.arg is not None
+            and infer_dtype(expr.arg, child_schema) is DataType.INTEGER
+        ):
+            continue
+        return None
+    get_key = key_extractor(group_positions) if group_positions else None
+    return _PreAgg(get_key=get_key, agg_items=agg_items)
+
+
+# ----------------------------------------------------------------------
+# The range-affine scheduler: partition workers, prefetch, ordered merge
+# ----------------------------------------------------------------------
+
+
+def _partition_worker(partition_id, first, last, conn, sem) -> None:
+    """One forked worker: execute a contiguous morsel range, in order.
+
+    The semaphore is the staging window — the parent releases one permit
+    per merged morsel, so the worker never runs more than the window ahead
+    of the merge point.  A ``None`` sentinel marks successful completion;
+    failures ship as :class:`_WorkerFailure` so the parent can raise.
+    """
+    _worker_init()
+    try:
+        for index in range(first, last):
+            sem.acquire()
+            conn.send(_run_morsel(index))
+        conn.send(None)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send(
+                _WorkerFailure(partition_id, repr(exc), traceback.format_exc())
+            )
+        except (BrokenPipeError, OSError):  # parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _Partition:
+    """Parent-side handle for one range-affine partition worker."""
+
+    def __init__(self, partition_id, first, last, process, conn, sem) -> None:
+        self.partition_id = partition_id
+        self.first = first
+        self.last = last
+        self.process = process
+        self.conn = conn
+        self.sem = sem
+        self._staged: deque = deque()
+        self._cond = threading.Condition()
+        self._reader: threading.Thread | None = None
+
+    def start_reader(self) -> None:
+        """Start the async read-ahead thread (``parallel_prefetch``).
+
+        The thread stages — i.e. actually unpickles — this partition's
+        results as soon as the worker sends them, so by the time the merge
+        loop reaches this partition its next result is usually already in
+        parent memory: deserialisation overlaps the simulated-I/O replay
+        of earlier partitions the way a spill reader prefetches the next
+        partition file.  The semaphore window bounds the staged backlog.
+        """
+        self._reader = threading.Thread(
+            target=self._read_ahead,
+            name=f"morsel-prefetch-{self.partition_id}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    def _read_ahead(self) -> None:
+        try:
+            while True:
+                item = self._recv()
+                with self._cond:
+                    self._staged.append(item)
+                    self._cond.notify()
+                if item is None or isinstance(item, _WorkerFailure):
+                    return
+        except Exception:  # noqa: BLE001 - surfaced to the merge loop
+            with self._cond:
+                self._staged.append(
+                    _WorkerFailure(
+                        self.partition_id,
+                        "prefetch reader failed",
+                        traceback.format_exc(),
+                    )
+                )
+                self._cond.notify()
+
+    def _recv(self):
+        """Next item from the worker, or a failure if it died silently."""
+        while True:
+            ready = mp_connection.wait([self.conn, self.process.sentinel])
+            if self.conn in ready:
+                try:
+                    return self.conn.recv()
+                except (EOFError, OSError):
+                    return _WorkerFailure(
+                        self.partition_id, "worker closed its pipe unexpectedly"
+                    )
+            if self.conn.poll(0):  # raced: data arrived as the worker exited
+                continue
+            return _WorkerFailure(
+                self.partition_id,
+                f"worker exited with code {self.process.exitcode}",
+            )
+
+    def next_result(self):
+        """This partition's next item, and whether it was already staged."""
+        if self._reader is None:
+            return self._recv(), False
+        with self._cond:
+            prefetched = bool(self._staged)
+            while not self._staged:
+                self._cond.wait()
+            return self._staged.popleft(), prefetched
+
+    def close(self) -> None:
+        """Tear the partition down, whether drained or abandoned."""
+        if self.process.is_alive():
+            self.process.terminate()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout=5.0)
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
+
+
+def _merged_results(
+    state: _WorkerState,
+    workers: int,
+    use_pool: bool,
+    windows: list[int],
+    prefetch: bool,
+    telemetry,
+) -> Iterator[_MorselResult]:
+    """Yield morsel results strictly in morsel order.
+
+    Owns the worker processes: ``_WORKER_STATE`` is published before the
+    partition workers fork (children inherit it), each worker computes its
+    contiguous morsel range bounded by its semaphore window, and the parent
+    consumes partitions in partition order — which is morsel order, because
+    the assignment is range-affine.  The ``finally`` tears everything down
+    even when the consumer abandons the stream mid-way.
+    """
+    global _WORKER_STATE
+    previous = _WORKER_STATE
+    _WORKER_STATE = state
+    try:
+        if not use_pool:
+            for index in range(len(state.morsels)):
+                yield _run_morsel(index)
+            return
+        bounds = _partition_morsels(state.morsels, state.groups, workers)
+        context = multiprocessing.get_context("fork")
+        partitions: list[_Partition] = []
+        try:
+            for partition_id, (first, last) in enumerate(bounds):
+                sem = context.Semaphore(windows[partition_id])
+                recv_conn, send_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_partition_worker,
+                    args=(partition_id, first, last, send_conn, sem),
+                    daemon=True,
+                )
+                process.start()
+                send_conn.close()
+                partitions.append(
+                    _Partition(partition_id, first, last, process, recv_conn, sem)
+                )
+            if prefetch:
+                for partition in partitions:
+                    partition.start_reader()
+            for partition in partitions:
+                for __ in range(partition.first, partition.last):
+                    item, prefetched = partition.next_result()
+                    if item is None or isinstance(item, _WorkerFailure):
+                        failure = item or _WorkerFailure(
+                            partition.partition_id, "worker ended early"
+                        )
+                        raise ExecutionError(
+                            f"parallel worker for partition {failure.partition_id} "
+                            f"failed: {failure.message}\n{failure.details}"
+                        )
+                    if prefetched:
+                        telemetry.prefetched_morsels += 1
+                    partition.sem.release()
+                    yield item
+        finally:
+            for partition in partitions:
+                partition.close()
+    finally:
+        _WORKER_STATE = previous
+
+
+# ----------------------------------------------------------------------
+# The merging parents
+# ----------------------------------------------------------------------
+
+
+def _replay_scan_charges(ctx, table, groups, first_group, last_group):
+    """Replay one morsel's scan charges exactly as the serial scan
+    interleaves them with its yields; returns rows scanned per group."""
+    access = ctx.buffer_pool.access
+    charge_cpu = ctx.clock.charge_cpu
+    cpu_per_tuple = ctx.cost_model.params.cpu_per_tuple
+    table_id = table.table_id
+    per_page = table.rows_per_page
+    total_rows = table.row_count
+    group_rows = []
+    for group_index in range(first_group, last_group):
+        first_page, last_page = groups[group_index]
+        scanned = 0
+        for page_no in range(first_page, last_page):
+            access(table_id, page_no, sequential=True)
+            page_rows = min(per_page, total_rows - page_no * per_page)
+            charge_cpu(page_rows * cpu_per_tuple)
+            scanned += page_rows
+        group_rows.append(scanned)
+    return group_rows
+
+
+def _charge_streaming_stages(ctx, stages, scan_rows, stage_rows) -> None:
+    """End-of-stream charges for filters/projections, in serial firing
+    order (bottom-up) and from exact integer row counts."""
+    params = ctx.cost_model.params
+    consumed = scan_rows
+    for position, stage in enumerate(stages):
+        if stage.kind == "filter":
+            per_row = max(1, len(stage.node.predicates)) * params.cpu_per_compare
+            ctx.clock.charge_cpu(consumed * per_row)
+        elif stage.kind == "project":
+            ctx.clock.charge_cpu(consumed * params.cpu_per_tuple)
+        consumed = stage_rows[position]
+
+
+def _charge_probe(ctx, probe: _ProbeTask, probe_rows: int, output_rows: int) -> None:
+    """The hash join's probe-phase charge, identical to the serial
+    ``finally`` formula (exact integer row counts in, one charge out)."""
+    probe_pages = pages_for(
+        probe_rows, probe.node.probe.schema.row_bytes, ctx.catalog.page_size
+    )
+    ctx.charge(
+        ctx.cost_model.hash_join_probe(
+            build_pages=probe.build_pages,
+            probe_rows=probe_rows,
+            probe_pages=probe_pages,
+            output_rows=output_rows,
+            memory_pages=probe.grant,
+        )
+    )
+
+
+def _finalize_collector(ctx, collector_node, merged) -> None:
+    """The collector's after-loop semantics: stats CPU charge, finalize,
+    publish, and the controller hook that may arm a plan switch."""
+    params = ctx.cost_model.params
+    per_row = (
+        params.cpu_stats_per_tuple
+        + collector_node.spec.statistic_count * params.cpu_stats_per_statistic
+    )
+    ctx.clock.charge_stats_cpu(merged.row_count * per_row)
+    observed = merged.finalize()
+    ctx.observed[collector_node.node_id] = observed
+    if ctx.controller is not None:
+        ctx.controller.on_collector_complete(collector_node, observed)
+
+
+def _pipeline_setup(
+    ctx, nodes_bottom_up, morsels, probe=None, hash_table=None, preagg=False
+):
+    """Shared pipeline preparation: stages, workers, collector, telemetry."""
+    config = ctx.config
+    exact_stats = config.parallel_stats == "exact"
+    stages, collector_node = _compile_stages(nodes_bottom_up)
+    probe_position = None
+    if probe is not None:
+        stages.append(
+            _Stage("probe", probe.node, _probe_stage_fn(probe.node, hash_table))
+        )
+        probe_position = len(stages) - 1
+    workers, use_pool = _resolve_workers(ctx, len(morsels))
     merged: RuntimeCollector | None = None
     if collector_node is not None:
         merged = RuntimeCollector(collector_node, collector_node.child.schema, config)
+    # Exact-mode reservoirs replay from the shipped rows when the collector
+    # tops the pipeline; when a probe stage or pre-aggregation sits above
+    # it, the shipped rows (or group partials) are not the collector's
+    # input, so workers ship the reservoir columns' values separately.
+    rows_are_collector_input = (
+        collector_node is not None
+        and probe is None
+        and not preagg
+        and isinstance(nodes_bottom_up[-1], StatsCollectorNode)
+    )
+    replay_positions: tuple[tuple[str, int], ...] = ()
+    if exact_stats and collector_node is not None and not rows_are_collector_input:
+        schema = collector_node.child.schema
+        replay_positions = tuple(
+            (column, schema.index_of(column))
+            for column in collector_node.spec.histogram_columns
+        )
+    telemetry = ctx.parallel
+    telemetry.pipelines += 1
+    pipeline_id = telemetry.pipelines
+    telemetry.workers = max(telemetry.workers, workers)
+    if probe is not None:
+        telemetry.join_pipelines += 1
+    return (
+        stages,
+        collector_node,
+        merged,
+        probe_position,
+        workers,
+        use_pool,
+        exact_stats,
+        rows_are_collector_input,
+        replay_positions,
+        pipeline_id,
+    )
+
+
+def _record_morsel(telemetry, pipeline_id: int, result: _MorselResult) -> None:
+    """Wall-clock/shipping telemetry for one merged morsel (observational
+    only: never feeds back into simulated costs or statistics)."""
+    telemetry.morsels += 1
+    per_worker = telemetry.pipeline_worker_seconds.setdefault(pipeline_id, {})
+    per_worker[result.pid] = per_worker.get(result.pid, 0.0) + result.elapsed
+    telemetry.rows_shipped += result.shipped_rows
+
+
+def _execute_morsels(
+    ctx: RuntimeContext,
+    nodes_bottom_up: list[PlanNode],
+    scan: SeqScanNode,
+    table: Table,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+    probe: _ProbeTask | None = None,
+    hash_table: dict | None = None,
+) -> Iterator[list[Row]]:
+    """The merging parent: run morsels, emit the serial-identical stream."""
+    config = ctx.config
+    (
+        stages,
+        collector_node,
+        merged,
+        probe_position,
+        workers,
+        use_pool,
+        exact_stats,
+        rows_are_collector_input,
+        replay_positions,
+        pipeline_id,
+    ) = _pipeline_setup(ctx, nodes_bottom_up, morsels, probe, hash_table)
 
     # Bookkeeping mirrors the serial generators: started on first pull,
     # per-stage consumed/produced totals for the end-of-stream charges.
+    # The probe stage's node (the join) is tracked by the enclosing batch
+    # executor, not here.
     ctx.mark_started(scan)
     for pnode in nodes_bottom_up:
         ctx.mark_started(pnode)
     telemetry = ctx.parallel
-    telemetry.pipelines += 1
-    telemetry.workers = max(telemetry.workers, workers)
 
     state = _WorkerState(
         rows=table.rows,
         rows_per_page=table.rows_per_page,
         groups=groups,
+        morsels=morsels,
         stages=stages,
         config=config,
         exact_stats=exact_stats,
+        replay_positions=replay_positions,
     )
-    window = _staging_window(ctx, workers, config.morsel_pages)
-
-    access = ctx.buffer_pool.access
-    charge_cpu = ctx.clock.charge_cpu
-    cpu_per_tuple = params.cpu_per_tuple
-    table_id = table.table_id
-    per_page = table.rows_per_page
-    total_rows = table.row_count
+    windows = _staging_windows(ctx, workers, config.morsel_pages)
 
     scan_rows = 0
     stage_rows = [0] * len(stages)
+    drained = False
     try:
-        results = _results_in_order(state, morsels, workers, use_pool, window)
-        for index, batches, counts, partial, elapsed, pid in results:
-            first_group, last_group = morsels[index]
-            telemetry.morsels += 1
-            telemetry.worker_seconds[pid] = (
-                telemetry.worker_seconds.get(pid, 0.0) + elapsed
+        results = _merged_results(
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry
+        )
+        for result in results:
+            first_group, last_group = morsels[result.index]
+            _record_morsel(telemetry, pipeline_id, result)
+            group_rows = _replay_scan_charges(
+                ctx, table, groups, first_group, last_group
             )
-            for offset, group_index in enumerate(range(first_group, last_group)):
-                first_page, last_page = groups[group_index]
-                # Replay the scan's charges for this page group exactly as
-                # the serial scan interleaves them with its yields.
-                for page_no in range(first_page, last_page):
-                    access(table_id, page_no, sequential=True)
-                    page_rows = min(per_page, total_rows - page_no * per_page)
-                    charge_cpu(page_rows * cpu_per_tuple)
-                    scan_rows += page_rows
-                for position, produced in enumerate(counts[offset]):
+            for offset in range(last_group - first_group):
+                scan_rows += group_rows[offset]
+                for position, produced in enumerate(result.counts[offset]):
                     stage_rows[position] += produced
-                batch = batches[offset]
-                if merged is not None and exact_stats:
+                batch = result.batches[offset]
+                if merged is not None and exact_stats and rows_are_collector_input:
                     merged.replay_reservoirs(batch)
                 if batch:
                     yield batch
-            if merged is not None and partial is not None:
-                merged.absorb_partial(partial)
+            if merged is not None and result.replay is not None:
+                merged.replay_reservoir_values(result.replay)
+            if merged is not None and result.partial is not None:
+                merged.absorb_partial(result.partial)
+        drained = True
     finally:
         # The serial streaming operators charge their totals in `finally`
-        # blocks that fire bottom-up at end of stream (or early close);
-        # replicate both the formulas and the firing order.
-        consumed = scan_rows
-        for position, stage in enumerate(stages):
-            if stage.kind == "filter":
-                per_row = (
-                    max(1, len(stage.node.predicates)) * params.cpu_per_compare
-                )
-                ctx.clock.charge_cpu(consumed * per_row)
-            elif stage.kind == "project":
-                ctx.clock.charge_cpu(consumed * params.cpu_per_tuple)
-            consumed = stage_rows[position]
+        # blocks; replicate both the formulas and the firing order.  On a
+        # full drain the probe charge fires *after* the collector's
+        # after-loop block (below), exactly like the serial nesting.
+        if not drained and probe is not None:
+            _charge_probe(
+                ctx,
+                probe,
+                stage_rows[probe_position - 1] if probe_position > 0 else scan_rows,
+                stage_rows[probe_position],
+            )
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
 
     # Everything past this point only happens on a full drain, matching the
     # serial collector's after-loop (not `finally`) semantics.
     if merged is not None:
-        per_row = (
-            params.cpu_stats_per_tuple
-            + collector_node.spec.statistic_count * params.cpu_stats_per_statistic
+        _finalize_collector(ctx, collector_node, merged)
+    if probe is not None:
+        _charge_probe(
+            ctx,
+            probe,
+            stage_rows[probe_position - 1] if probe_position > 0 else scan_rows,
+            stage_rows[probe_position],
         )
-        ctx.clock.charge_stats_cpu(merged.row_count * per_row)
-        observed = merged.finalize()
-        ctx.observed[collector_node.node_id] = observed
-        if ctx.controller is not None:
-            ctx.controller.on_collector_complete(collector_node, observed)
     ctx.mark_completed(scan, scan_rows)
     for position, pnode in enumerate(nodes_bottom_up):
         ctx.mark_completed(pnode, stage_rows[position])
+
+
+def _run_preagg(
+    ctx: RuntimeContext,
+    node: HashAggregateNode,
+    nodes_bottom_up: list[PlanNode],
+    scan: SeqScanNode,
+    table: Table,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+    preagg: _PreAgg,
+) -> tuple[dict, int, int | None]:
+    """The merging parent for a pre-aggregating pipeline (always a full
+    drain: the aggregate is blocking, so nothing can abandon it early
+    short of an error unwinding the whole query)."""
+    config = ctx.config
+    (
+        stages,
+        collector_node,
+        merged,
+        __probe_position,
+        workers,
+        use_pool,
+        exact_stats,
+        __rows_are_input,
+        replay_positions,
+        pipeline_id,
+    ) = _pipeline_setup(ctx, nodes_bottom_up, morsels, preagg=True)
+    telemetry = ctx.parallel
+    telemetry.preagg_pipelines += 1
+
+    ctx.mark_started(scan)
+    for pnode in nodes_bottom_up:
+        ctx.mark_started(pnode)
+
+    state = _WorkerState(
+        rows=table.rows,
+        rows_per_page=table.rows_per_page,
+        groups=groups,
+        morsels=morsels,
+        stages=stages,
+        config=config,
+        exact_stats=exact_stats,
+        replay_positions=replay_positions,
+        preagg=preagg,
+    )
+    windows = _staging_windows(ctx, workers, config.morsel_pages)
+
+    merged_groups: dict = {}
+    grant: int | None = None
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    try:
+        results = _merged_results(
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry
+        )
+        for result in results:
+            first_group, last_group = morsels[result.index]
+            _record_morsel(telemetry, pipeline_id, result)
+            group_rows = _replay_scan_charges(
+                ctx, table, groups, first_group, last_group
+            )
+            for offset in range(last_group - first_group):
+                scan_rows += group_rows[offset]
+                for position, produced in enumerate(result.counts[offset]):
+                    stage_rows[position] += produced
+            # The serial aggregate commits its grant on the first input
+            # batch; pin it while merging the first morsel that produced
+            # pipeline output — still ahead of the collector-complete hook.
+            pipeline_out = stage_rows[-1] if stages else scan_rows
+            if grant is None and pipeline_out > 0:
+                grant = ctx.commit_memory(node)
+            for key, states in result.groups_out.items():
+                mine = merged_groups.get(key)
+                if mine is None:
+                    merged_groups[key] = states
+                else:
+                    for state_, other in zip(mine, states):
+                        state_.merge(other)
+            telemetry.groups_shipped += len(result.groups_out)
+            if merged is not None and result.replay is not None:
+                merged.replay_reservoir_values(result.replay)
+            if merged is not None and result.partial is not None:
+                merged.absorb_partial(result.partial)
+    finally:
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
+
+    if merged is not None:
+        _finalize_collector(ctx, collector_node, merged)
+    ctx.mark_completed(scan, scan_rows)
+    for position, pnode in enumerate(nodes_bottom_up):
+        ctx.mark_completed(pnode, stage_rows[position])
+    input_rows = stage_rows[-1] if stages else scan_rows
+    telemetry.rows_preaggregated += input_rows
+    return merged_groups, input_rows, grant

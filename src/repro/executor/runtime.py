@@ -82,14 +82,45 @@ class ParallelExecStats:
     workers: int = 0
     #: Total morsels executed across all parallel pipelines.
     morsels: int = 0
-    #: Number of leaf pipelines that took the morsel-parallel path.
+    #: Number of pipelines (leaf, probe-side or pre-aggregating) that took
+    #: the morsel-parallel path.
     pipelines: int = 0
-    #: Busy wall-clock seconds per worker process id (the parent's pid for
-    #: in-process fallback morsels).
-    worker_seconds: dict[int, float] = field(default_factory=dict)
+    #: Of those, probe-side hash-join pipelines.
+    join_pipelines: int = 0
+    #: Of those, pipelines that pre-aggregated in the workers.
+    preagg_pipelines: int = 0
+    #: Rows shipped from workers to the merge point (pre-aggregated
+    #: pipelines ship group partials instead, so their input rows are
+    #: counted in :attr:`rows_preaggregated`, not here).
+    rows_shipped: int = 0
+    #: Pipeline-output rows folded into worker-side aggregate partials
+    #: instead of being shipped.
+    rows_preaggregated: int = 0
+    #: Group partials shipped by pre-aggregating morsels (one per group
+    #: per morsel; compare with :attr:`rows_preaggregated` for the
+    #: shipping reduction).
+    groups_shipped: int = 0
+    #: Morsel results that were already staged (unpickled by a read-ahead
+    #: thread) when the merge loop asked for them.
+    prefetched_morsels: int = 0
+    #: Busy wall-clock seconds per worker process id, per pipeline
+    #: (pipelines are numbered 1..n in execution order; the parent's pid
+    #: appears for in-process fallback morsels).
+    pipeline_worker_seconds: dict[int, dict[int, float]] = field(
+        default_factory=dict
+    )
     #: Set once a requested multi-worker pool degraded to serial execution
     #: (platform without ``fork``), so the warning fires once per run.
     fallback_warned: bool = False
+
+    @property
+    def worker_seconds(self) -> dict[int, float]:
+        """Busy seconds per worker pid, aggregated across pipelines."""
+        totals: dict[int, float] = {}
+        for per_worker in self.pipeline_worker_seconds.values():
+            for pid, seconds in per_worker.items():
+                totals[pid] = totals.get(pid, 0.0) + seconds
+        return totals
 
 
 @dataclass
