@@ -120,6 +120,10 @@ def run_benchmark(repetitions: int = REPETITIONS, workers: int = 0) -> dict:
             "batch_s": round(totals["batch"], 6),
             "speedup": round(totals["row"] / totals["batch"], 2),
         },
+        # Engine-wide counters/gauges/histograms accumulated over the whole
+        # run (plan-cache traffic, reoptimizer activity, buffer-pool hit
+        # rate, per-query cost distribution).
+        "metrics": db.metrics.snapshot(),
     }
 
 

@@ -28,6 +28,9 @@ from .engine.prepared import PreparedStatement
 from .engine.profile import ExecutionProfile, PhaseBreakdown
 from .engine.results import QueryResult
 from .errors import ReproError
+from .observe.analyze import ExplainAnalyzeReport
+from .observe.metrics import MetricsRegistry, default_registry
+from .observe.trace import QueryTracer
 from .stats.histogram import HistogramKind
 from .storage.schema import Column, DataType, Schema, date_to_int, int_to_date
 
@@ -41,16 +44,20 @@ __all__ = [
     "DynamicMode",
     "EngineConfig",
     "ExecutionProfile",
+    "ExplainAnalyzeReport",
     "HistogramKind",
+    "MetricsRegistry",
     "PhaseBreakdown",
     "PlanCache",
     "PlanCacheStats",
     "PreparedStatement",
     "QueryResult",
+    "QueryTracer",
     "ReoptimizationParameters",
     "ReproError",
     "Schema",
     "date_to_int",
+    "default_registry",
     "int_to_date",
     "__version__",
 ]

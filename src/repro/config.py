@@ -69,6 +69,13 @@ def _default_parallel_prefetch() -> bool:
     return _env_flag("REPRO_PARALLEL_PREFETCH")
 
 
+def _default_tracing() -> bool:
+    """Query-tracing default (``REPRO_TRACE``): *off* unless explicitly
+    enabled — tracing is the one observability knob that allocates per-span
+    state, so unlike the parallel flags it is opt-in."""
+    return os.environ.get("REPRO_TRACE", "") not in ("", "0", "false", "False")
+
+
 @dataclass(frozen=True)
 class CostParameters:
     """Unit costs for the simulated execution clock.
@@ -210,6 +217,11 @@ class EngineConfig:
     plan_cache_enabled: bool = True
     #: Capacity of the plan cache (exact + parametric entries combined).
     plan_cache_size: int = 128
+    #: Span-based query tracing (:mod:`repro.observe`).  Purely
+    #: observational: the tracer reads the simulated clock but never
+    #: charges it, so rows/costs/statistics are byte-identical with tracing
+    #: on or off.  When enabled the trace rides on ``profile.trace``.
+    tracing: bool = field(default_factory=_default_tracing)
     #: Deterministic seed for sampling/sketches inside the engine.
     seed: int = 0x5EED
 
@@ -250,7 +262,7 @@ class EngineConfig:
             raise ConfigError(
                 f"parallel_stats must be 'exact' or 'merge', got {self.parallel_stats!r}"
             )
-        for flag in ("parallel_joins", "parallel_preagg", "parallel_prefetch"):
+        for flag in ("parallel_joins", "parallel_preagg", "parallel_prefetch", "tracing"):
             if not isinstance(getattr(self, flag), bool):
                 raise ConfigError(
                     f"{flag} must be a bool, got {getattr(self, flag)!r}"

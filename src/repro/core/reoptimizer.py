@@ -139,6 +139,31 @@ class DynamicReoptimizer:
 
         self.events.append(event)
 
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            # The triggering estimate delta: what the optimizer predicted for
+            # this collection point (snapshotted at plan adoption, before
+            # improved estimates overwrote node.est) vs. what was observed.
+            estimated_rows = tracer.estimated_rows(node.node_id, node.est.rows)
+            args: dict = {
+                "collector_node_id": node.node_id,
+                "action": event.action,
+                "estimated_rows": round(estimated_rows, 1),
+                "observed_rows": observed.row_count,
+                "estimate_delta_rows": round(observed.row_count - estimated_rows, 1),
+                "t_cur_optimizer": round(self.plan_optimizer_total, 6),
+                "t_cur_improved": round(t_cur_improved, 6),
+                "reallocation_changed": event.reallocation_changed,
+            }
+            if event.trigger is not None:
+                args["trigger_consider"] = event.trigger.consider
+                args["trigger_reason"] = event.trigger.reason
+            if event.t_new_total is not None:
+                args["t_new_total"] = round(event.t_new_total, 6)
+            if event.detail:
+                args["detail"] = event.detail
+            tracer.instant("reopt-decision", "reopt", **args)
+
     # -- memory re-allocation -------------------------------------------------
 
     def _reallocate(self, plan: PlanNode) -> bool:
@@ -154,7 +179,8 @@ class DynamicReoptimizer:
         }
         try:
             new_allocation = self.memory_manager.allocate(
-                plan, fixed=fixed, floors=floors
+                plan, fixed=fixed, floors=floors,
+                tracer=self.ctx.tracer, reason="reallocate",
             )
         except MemoryGrantError:
             return False
@@ -219,7 +245,9 @@ class DynamicReoptimizer:
         if self.run_scia_on_new_plans:
             insert_collectors(new_plan, self.ctx.catalog, self.ctx.config)
         try:
-            new_allocation = self.memory_manager.allocate(new_plan)
+            new_allocation = self.memory_manager.allocate(
+                new_plan, tracer=self.ctx.tracer, reason="switch-plan"
+            )
         except MemoryGrantError:
             new_allocation = {}
         self.optimizer.annotator(allocation=new_allocation).annotate(new_plan)

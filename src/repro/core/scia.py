@@ -218,14 +218,41 @@ def insert_collectors(
         else:
             spec["distincts"].append(candidate.columns)
 
+    # Inaccuracy ranking for attribution (EXPLAIN ANALYZE reports whether
+    # the potential assigned here predicted where the estimates went bad).
+    # Built before splicing: the analysis walks the un-instrumented plan.
+    analysis = InaccuracyAnalysis(plan, catalog)
+    point_potentials = {
+        (parent.node_id, child_index): analysis.output_level(
+            parent.children[child_index]
+        )
+        for parent, child_index in points
+    }
+
+    def _describe(candidate: CandidateStatistic) -> str:
+        return (
+            f"{candidate.kind}({', '.join(candidate.columns)})"
+            f"@{candidate.potential.name.lower()}"
+        )
+
     for parent, child_index in points:
-        chosen = specs.get((parent.node_id, child_index), {"histograms": [], "distincts": []})
+        point = (parent.node_id, child_index)
+        chosen = specs.get(point, {"histograms": [], "distincts": []})
         spec = CollectorSpec(
             histogram_columns=tuple(dict.fromkeys(chosen["histograms"])),
             distinct_column_sets=tuple(dict.fromkeys(chosen["distincts"])),
         )
         child = parent.children[child_index]
         collector = StatsCollectorNode(child, spec)
+        collector.scia_potential = point_potentials[point]
+        collector.scia_kept = tuple(
+            _describe(c) for c in kept
+            if (c.parent_id, c.child_index) == point
+        )
+        collector.scia_dropped = tuple(
+            _describe(c) for c in dropped
+            if (c.parent_id, c.child_index) == point
+        )
         children = list(parent.children)
         children[child_index] = collector
         parent.children = tuple(children)

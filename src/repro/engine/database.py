@@ -38,6 +38,9 @@ from ..errors import CatalogError
 from ..executor.dispatcher import Dispatcher
 from ..executor.memory import MemoryManager
 from ..executor.runtime import RuntimeContext
+from ..observe.analyze import ExplainAnalyzeReport, analyze_execution
+from ..observe.metrics import MetricsRegistry, default_registry
+from ..observe.trace import QueryTracer
 from ..optimizer.calibration import OptimizerCalibration
 from ..optimizer.cost_model import CostModel
 from ..optimizer.optimizer import Optimizer
@@ -94,13 +97,18 @@ class Database:
         self,
         config: EngineConfig | None = None,
         calibration: OptimizerCalibration | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.config.validate()
         self.catalog = Catalog(self.config.page_size)
         self.calibration = calibration or OptimizerCalibration()
         self.estimator = Estimator()
-        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: Cross-query counters/gauges/histograms.  Engines share the
+        #: process-wide registry unless handed their own (tests that assert
+        #: exact counts pass a fresh one).
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.plan_cache = PlanCache(self.config.plan_cache_size, metrics=self.metrics)
         self._udfs: dict[str, Callable] = {}
 
     # -- DDL / loading ------------------------------------------------------
@@ -440,8 +448,14 @@ class Database:
         memory_budget_pages: int | None = None,
         execution_mode: str | None = None,
         workers: int | None = None,
+        analysis_sink: dict | None = None,
     ) -> QueryResult:
-        """Run a prepared execution through the dynamic-re-optimization loop."""
+        """Run a prepared execution through the dynamic-re-optimization loop.
+
+        ``analysis_sink`` (EXPLAIN ANALYZE) forces a tracer for this run and
+        receives the built :class:`~repro.observe.analyze.ExplainAnalyzeReport`
+        under ``"report"``.
+        """
         query = prepared.query
         plan = prepared.plan
         optimizer = prepared.optimizer
@@ -457,6 +471,10 @@ class Database:
             run_config.validate()
 
         clock = CostClock(self.config.cost)
+        tracer: QueryTracer | None = None
+        if run_config.tracing or analysis_sink is not None:
+            tracer = QueryTracer(clock, label=sql)
+            tracer.record_compile_phases(prepared.phase_seconds)
         buffer_pool = BufferPool(self.config.buffer_pool_pages, clock)
         temp_manager = TempTableManager(self.catalog, buffer_pool)
         cost_model = CostModel(self.config)
@@ -475,8 +493,9 @@ class Database:
             temp_manager=temp_manager,
             cost_model=cost_model,
             memory_budget_pages=budget,
+            tracer=tracer,
         )
-        allocation = memory_manager.allocate(plan)
+        allocation = memory_manager.allocate(plan, tracer=tracer)
         ctx.allocation.update(allocation)
         # Annotate under the actual grants so the baseline estimate matches
         # the execution the Memory Manager set up.
@@ -498,12 +517,20 @@ class Database:
             ctx.controller = controller
 
         dispatcher = Dispatcher(ctx)
+        exec_span = None
+        if tracer is not None:
+            exec_span = tracer.begin(
+                "execute", "phase", mode=mode.value,
+                execution=run_config.execution_mode,
+            )
         t_exec = perf_counter()
         try:
             outcome = dispatcher.run(plan)
         finally:
             temp_manager.drop_all()
         execute_s = perf_counter() - t_exec
+        if tracer is not None:
+            tracer.end(exec_span, rows=len(outcome.rows))
 
         seconds = prepared.phase_seconds
         profile = ExecutionProfile(
@@ -553,10 +580,85 @@ class Database:
             remainder_sqls=[
                 e.directive.remainder_sql for e in outcome.switch_events
             ],
+            trace=tracer,
         )
-        return QueryResult(
+        result = QueryResult(
             rows=outcome.rows, schema=outcome.final_plan.schema, profile=profile
         )
+        self._record_metrics(profile, ctx, clock, buffer_pool, execute_s)
+        if analysis_sink is not None:
+            analysis_sink["report"] = analyze_execution(
+                sql=sql,
+                outcome=outcome,
+                ctx=ctx,
+                tracer=tracer,
+                result=result,
+                profile=profile,
+            )
+        return result
+
+    def _record_metrics(self, profile, ctx, clock, buffer_pool, execute_s) -> None:
+        """Fold one execution into the cross-query metrics registry.
+
+        Purely additive bookkeeping after the clock stopped — it can never
+        perturb simulated costs or statistics.
+        """
+        m = self.metrics
+        m.counter("engine.queries").inc()
+        m.counter("engine.rows_returned").inc(profile.row_count)
+        m.counter("reoptimizer.plan_switches").inc(ctx.switches)
+        m.counter("reoptimizer.memory_reallocations").inc(ctx.reallocations)
+        m.counter("reoptimizer.collectors_inserted").inc(profile.collectors_inserted)
+        m.counter("parallel.pipelines").inc(ctx.parallel.pipelines)
+        m.counter("parallel.morsels").inc(ctx.parallel.morsels)
+        m.counter("parallel.rows_shipped").inc(ctx.parallel.rows_shipped)
+        m.counter("parallel.rows_preaggregated").inc(ctx.parallel.rows_preaggregated)
+        m.gauge("buffer_pool.hit_rate").set(buffer_pool.stats.hit_ratio)
+        m.gauge("plan_cache.hit_rate").set(self.plan_cache.stats.hit_rate)
+        m.histogram("query.simulated_cost").observe(clock.now)
+        m.histogram("query.execute_wall_s").observe(execute_s)
+
+    def metrics_snapshot(self) -> dict[str, dict]:
+        """Snapshot of this engine's metrics registry (plain JSON-able dict)."""
+        return self.metrics.snapshot()
+
+    def explain_analyze(
+        self,
+        sql: str,
+        params: Mapping[str, object] | None = None,
+        mode: DynamicMode = DynamicMode.FULL,
+        memory_budget_pages: int | None = None,
+        execution_mode: str | None = None,
+        workers: int | None = None,
+    ) -> ExplainAnalyzeReport:
+        """EXPLAIN ANALYZE: execute the statement, then report estimated vs.
+        actual rows/size/cost per plan node with Q-errors and
+        statistics-collector attribution.
+
+        The executed rows ride on ``report.result``; ``str(report)`` (or
+        ``report.render()``) is the annotated plan-tree text.  A tracer is
+        attached for the run regardless of :attr:`EngineConfig.tracing`
+        (tracing never perturbs simulated costs, so the profile matches a
+        plain :meth:`execute`).
+        """
+        prepared = self._prepare(
+            sql,
+            params=params,
+            mode=mode,
+            execution_mode=execution_mode,
+            workers=workers,
+        )
+        sink: dict = {}
+        self._run(
+            prepared,
+            sql,
+            mode,
+            memory_budget_pages,
+            execution_mode,
+            workers,
+            analysis_sink=sink,
+        )
+        return sink["report"]
 
     # -- introspection ---------------------------------------------------------
 

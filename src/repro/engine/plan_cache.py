@@ -47,6 +47,7 @@ from ..plans.physical import PlanNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.parametric import ParametricPlan
+    from ..observe.metrics import MetricsRegistry
 
 #: Default number of cached entries (exact + parametric combined).
 DEFAULT_CAPACITY = 128
@@ -116,10 +117,19 @@ class PlanCacheStats:
 class PlanCache:
     """LRU map of prepared-query entries with statistics-epoch invalidation."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         self.capacity = max(1, capacity)
         self._entries: "OrderedDict[tuple, CachedPlan | CachedScenarios]" = OrderedDict()
         self.stats = PlanCacheStats()
+        self._metrics = metrics
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"plan_cache.{name}").inc(amount)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -172,14 +182,18 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            self._bump("misses")
             return None
         if entry.epoch != epoch:
             del self._entries[key]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            self._bump("invalidations")
+            self._bump("misses")
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._bump("hits")
         return entry
 
     def store(self, key: tuple, entry: "CachedPlan | CachedScenarios") -> None:
@@ -188,9 +202,11 @@ class PlanCache:
             del self._entries[key]
         self._entries[key] = entry
         self.stats.stores += 1
+        self._bump("stores")
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._bump("evictions")
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

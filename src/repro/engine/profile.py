@@ -9,10 +9,14 @@ plan switches, collector overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.reoptimizer import ReoptimizationEvent
 from ..storage.buffer import BufferStats
 from ..storage.disk import CostBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observe.trace import QueryTracer
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,11 @@ class ExecutionProfile:
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
+    #: The query's span trace when tracing was enabled
+    #: (``EngineConfig.tracing`` / ``REPRO_TRACE=1``), else ``None``.
+    #: Export with ``profile.trace.export_chrome(path)`` or render with
+    #: ``profile.trace.timeline()``.
+    trace: "QueryTracer | None" = None
 
     @property
     def worker_wall_s(self) -> dict[str, float]:
@@ -116,8 +125,11 @@ class ExecutionProfile:
         totals: dict[str, float] = {}
         for per_worker in self.pipeline_wall_s.values():
             for pid, seconds in per_worker.items():
-                totals[pid] = round(totals.get(pid, 0.0) + seconds, 6)
-        return totals
+                totals[pid] = totals.get(pid, 0.0) + seconds
+        # Round once after summation: rounding inside the loop would make
+        # the totals depend on pipeline iteration order and drop sub-1e-6
+        # contributions entirely.
+        return {pid: round(total, 6) for pid, total in totals.items()}
 
     @property
     def stats_overhead_fraction(self) -> float:
@@ -142,6 +154,16 @@ class ExecutionProfile:
             f"execute={self.phases.execute_s * 1e3:.2f}ms "
             f"cache={'hit' if self.plan_cache_hit else 'miss'}",
         ]
+        if self.parallel_pipelines:
+            lines.append(
+                f"parallel: workers={self.workers} morsels={self.morsels} "
+                f"pipelines={self.parallel_pipelines} "
+                f"(join={self.parallel_join_pipelines}, "
+                f"preagg={self.parallel_preagg_pipelines}) "
+                f"rows shipped/preaggregated="
+                f"{self.parallel_rows_shipped}/{self.parallel_rows_preaggregated} "
+                f"prefetched={self.parallel_prefetched_morsels}"
+            )
         for event in self.events:
             lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")
         return "\n".join(lines)

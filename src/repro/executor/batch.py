@@ -213,6 +213,11 @@ def _collector(node: StatsCollectorNode, ctx: RuntimeContext) -> BatchIterator:
     ctx.clock.charge_stats_cpu(collector.row_count * per_row)
     observed = collector.finalize()
     ctx.observed[node.node_id] = observed
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "collector-complete", "stats",
+            node_id=node.node_id, observed=observed.describe(),
+        )
     if ctx.controller is not None:
         ctx.controller.on_collector_complete(node, observed)
 
@@ -365,6 +370,13 @@ def _materialize_and_switch(
         ctx.buffer_pool.write(directive.temp_table.table_id, page_no)
     ctx.mark_completed(node, len(materialized))
     ctx.switches += 1
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "switch-materialize", "reopt",
+            cut_node_id=node.node_id,
+            rows=len(materialized),
+            temp_pages=directive.temp_table.page_count,
+        )
     raise PlanSwitched(directive, len(materialized))
 
 

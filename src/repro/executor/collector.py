@@ -47,6 +47,19 @@ class ObservedStatistics:
     histograms: Mapping[str, Histogram] = field(default_factory=dict)
     distincts: Mapping[tuple[str, ...], float] = field(default_factory=dict)
 
+    def describe(self) -> dict:
+        """Compact JSON-able summary for trace events and EXPLAIN ANALYZE."""
+        return {
+            "rows": self.row_count,
+            "row_bytes": round(self.row_bytes, 1),
+            "histograms": sorted(self.histograms),
+            "distincts": {
+                ", ".join(cols): round(estimate, 1)
+                for cols, estimate in sorted(self.distincts.items())
+            },
+            "minmax_columns": sorted(self.minmax),
+        }
+
     def merge_into_profile(self, estimated: RelProfile | None) -> RelProfile:
         """Build an observed profile, reusing estimated stats where unobserved.
 

@@ -13,11 +13,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..optimizer.annotate import estimate_snapshot
 from ..plans.physical import PlanNode
 from ..storage.table import Row
 from .batch import execute_node_batches
 from .iterators import execute_node
 from .runtime import PlanSwitchDirective, PlanSwitched, RuntimeContext
+
+#: Span categories force-closed when a plan switch abandons the generators
+#: that would have closed them naturally.
+_ABANDONABLE = frozenset({"operator", "pipeline"})
 
 
 @dataclass
@@ -49,10 +54,23 @@ class Dispatcher:
         history = [plan]
         events: list[SwitchEvent] = []
         current = plan
+        tracer = self.ctx.tracer
         while True:
             self._notify_plan(current)
+            span = None
+            if tracer is not None:
+                tracer.record_estimates(estimate_snapshot(current))
+                span = tracer.begin(
+                    f"plan-{len(history)}",
+                    "plan",
+                    root=current.label,
+                    est_rows=current.est.rows,
+                    est_cost=round(current.est.total_cost, 6),
+                )
             try:
                 rows = self._drain(current)
+                if tracer is not None:
+                    tracer.end(span, outcome="completed", rows=len(rows))
                 return DispatchResult(
                     rows=rows,
                     final_plan=current,
@@ -72,6 +90,24 @@ class Dispatcher:
                 self.ctx.allocation.update(directive.new_allocation)
                 current = directive.new_plan
                 history.append(current)
+                if tracer is not None:
+                    # The abandoned plan's generators never reach their
+                    # natural span ends; close them here so durations stay
+                    # meaningful, then close the plan span itself.
+                    tracer.close_open_spans(_ABANDONABLE, abandoned=True)
+                    tracer.end(
+                        span,
+                        outcome="switched",
+                        materialized_rows=switched.materialized_rows,
+                    )
+                    tracer.instant(
+                        "plan-switch",
+                        "reopt",
+                        cut_node_id=directive.cut_node_id,
+                        materialized_rows=switched.materialized_rows,
+                        remainder_sql=directive.remainder_sql,
+                        reason=directive.reason,
+                    )
 
     def _drain(self, plan: PlanNode) -> list[Row]:
         """Run one plan to completion on the configured execution path.

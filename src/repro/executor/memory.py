@@ -22,10 +22,13 @@ of operators already mid-execution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..errors import MemoryGrantError
 from ..plans.physical import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observe.trace import QueryTracer
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,8 @@ class MemoryManager:
         plan: PlanNode,
         fixed: Mapping[int, int] | None = None,
         floors: Mapping[int, int] | None = None,
+        tracer: "QueryTracer | None" = None,
+        reason: str = "initial",
     ) -> dict[int, int]:
         """Compute grants for every memory-consuming operator of ``plan``.
 
@@ -99,6 +104,10 @@ class MemoryManager:
         already promised, even when improved estimates shrink (or blow up)
         its demands — shrinking a promised grant would trade a known-good
         plan for an estimated one.
+
+        ``tracer``/``reason`` record the resulting grant map as a trace
+        event (``reason`` distinguishes the initial allocation from dynamic
+        re-allocations and switch-plan allocations).
         """
         fixed = dict(fixed or {})
         floors = dict(floors or {})
@@ -127,6 +136,15 @@ class MemoryManager:
                 f"totalling {minimum_total} pages"
             )
         self._grant_max_or_min(open_demands, budget, grants)
+        if tracer is not None:
+            tracer.instant(
+                "memory-allocate",
+                "memory",
+                reason=reason,
+                budget_pages=self.budget_pages,
+                pinned=len(fixed),
+                grants={str(node_id): pages for node_id, pages in sorted(grants.items())},
+            )
         return grants
 
     @staticmethod

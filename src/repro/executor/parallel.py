@@ -938,6 +938,11 @@ def _finalize_collector(ctx, collector_node, merged) -> None:
     ctx.clock.charge_stats_cpu(merged.row_count * per_row)
     observed = merged.finalize()
     ctx.observed[collector_node.node_id] = observed
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "collector-complete", "stats",
+            node_id=collector_node.node_id, observed=observed.describe(),
+        )
     if ctx.controller is not None:
         ctx.controller.on_collector_complete(collector_node, observed)
 
@@ -1034,6 +1039,18 @@ def _execute_morsels(
     # per-stage consumed/produced totals for the end-of-stream charges.
     # The probe stage's node (the join) is tracked by the enclosing batch
     # executor, not here.
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"pipeline-{pipeline_id}",
+            "pipeline",
+            kind="probe" if probe is not None else "leaf",
+            workers=workers,
+            morsels=len(morsels),
+            root=nodes_bottom_up[-1].label if nodes_bottom_up else scan.label,
+        )
+
     ctx.mark_started(scan)
     for pnode in nodes_bottom_up:
         ctx.mark_started(pnode)
@@ -1061,6 +1078,11 @@ def _execute_morsels(
         for result in results:
             first_group, last_group = morsels[result.index]
             _record_morsel(telemetry, pipeline_id, result)
+            if tracer is not None:
+                tracer.morsel_merged(
+                    pipeline_id, result.index, result.pid,
+                    result.elapsed, result.shipped_rows,
+                )
             group_rows = _replay_scan_charges(
                 ctx, table, groups, first_group, last_group
             )
@@ -1106,6 +1128,8 @@ def _execute_morsels(
     ctx.mark_completed(scan, scan_rows)
     for position, pnode in enumerate(nodes_bottom_up):
         ctx.mark_completed(pnode, stage_rows[position])
+    if tracer is not None:
+        tracer.end(span, rows=stage_rows[-1] if stage_rows else scan_rows)
 
 
 def _run_preagg(
@@ -1137,6 +1161,18 @@ def _run_preagg(
     telemetry = ctx.parallel
     telemetry.preagg_pipelines += 1
 
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"pipeline-{pipeline_id}",
+            "pipeline",
+            kind="preagg",
+            workers=workers,
+            morsels=len(morsels),
+            root=node.label,
+        )
+
     ctx.mark_started(scan)
     for pnode in nodes_bottom_up:
         ctx.mark_started(pnode)
@@ -1165,6 +1201,11 @@ def _run_preagg(
         for result in results:
             first_group, last_group = morsels[result.index]
             _record_morsel(telemetry, pipeline_id, result)
+            if tracer is not None:
+                tracer.morsel_merged(
+                    pipeline_id, result.index, result.pid,
+                    result.elapsed, result.shipped_rows,
+                )
             group_rows = _replay_scan_charges(
                 ctx, table, groups, first_group, last_group
             )
@@ -1200,4 +1241,6 @@ def _run_preagg(
         ctx.mark_completed(pnode, stage_rows[position])
     input_rows = stage_rows[-1] if stages else scan_rows
     telemetry.rows_preaggregated += input_rows
+    if tracer is not None:
+        tracer.end(span, rows=input_rows, groups=len(merged_groups))
     return merged_groups, input_rows, grant

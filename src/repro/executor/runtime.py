@@ -30,6 +30,7 @@ from ..storage.table import Table
 from ..storage.temp import TempTableManager
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..observe.trace import QueryTracer
     from .collector import ObservedStatistics
 
 
@@ -154,6 +155,15 @@ class RuntimeContext:
     #: The query's total workspace budget in pages; the parallel executor
     #: bounds its in-flight morsel staging by what the allocation left free.
     memory_budget_pages: int = 0
+    #: Optional span tracer (:mod:`repro.observe.trace`).  Strictly
+    #: observational — it reads ``clock.now`` but never charges, so every
+    #: simulated quantity is identical whether or not it is attached.  All
+    #: hooks guard on ``None`` so disabled tracing costs one attribute
+    #: check per operator, never per row.  On the parallel path all span
+    #: recording happens in the merging parent (workers run raw stage
+    #: functions, not the mark hooks), so worker scheduling cannot reorder
+    #: the trace.
+    tracer: "QueryTracer | None" = None
 
     @property
     def execution_mode(self) -> str:
@@ -188,6 +198,8 @@ class RuntimeContext:
     def mark_started(self, node: PlanNode) -> None:
         """Record that a node's iterator was first pulled."""
         self.started.add(node.node_id)
+        if self.tracer is not None:
+            self.tracer.node_started(node)
 
     def commit_memory(self, node: PlanNode) -> int:
         """Pin a memory-consuming operator's grant at first-input time.
@@ -203,6 +215,8 @@ class RuntimeContext:
         """Record that a node drained, with its actual output cardinality."""
         self.completed.add(node.node_id)
         self.actual_rows[node.node_id] = rows
+        if self.tracer is not None:
+            self.tracer.node_completed(node, rows)
 
     def take_switch_for(self, node_id: int) -> PlanSwitchDirective | None:
         """Claim a pending plan switch if it targets this node."""

@@ -1,0 +1,41 @@
+"""Observability: query tracing, metrics, EXPLAIN ANALYZE, trace validation.
+
+The three public pieces:
+
+* :class:`QueryTracer` (:mod:`repro.observe.trace`) — per-query spans and
+  point events with wall-clock *and* simulated-clock timestamps; exports
+  Chrome trace-event JSON and a text timeline.  Enabled per engine with
+  ``EngineConfig(tracing=True)`` or globally with ``REPRO_TRACE=1``; the
+  trace rides on ``result.profile.trace``.
+* :class:`MetricsRegistry` (:mod:`repro.observe.metrics`) — process-wide
+  named counters/gauges/histograms accumulated across queries
+  (``Database.metrics_snapshot()``).
+* :class:`ExplainAnalyzeReport` (:mod:`repro.observe.analyze`) — the
+  result of ``Database.explain_analyze(sql)``: per-node estimated vs.
+  actual rows/size/cost, Q-error, and SCIA collector attribution.
+
+Everything here only *reads* engine state — no call into this package
+charges the simulated cost clock, so results are byte-identical with
+observability on or off (proved by ``tests/test_trace_parity.py``).
+"""
+
+from .analyze import ExplainAnalyzeReport, NodeAnalysis, PlanAnalysis, q_error
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, default_registry
+from .trace import InstantEvent, QueryTracer, Span
+from .validate import validate_trace
+
+__all__ = [
+    "Counter",
+    "ExplainAnalyzeReport",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "NodeAnalysis",
+    "PlanAnalysis",
+    "QueryTracer",
+    "Span",
+    "default_registry",
+    "q_error",
+    "validate_trace",
+]

@@ -1,0 +1,111 @@
+"""Chrome trace-event schema validation.
+
+Used by CI (and the test suite) to prove an exported trace is loadable:
+``python -m repro.observe.validate trace.json`` exits non-zero and prints
+every violation if the file is malformed.
+
+Checks:
+
+* top level is an object with a ``traceEvents`` list;
+* every event has ``name``/``ph``/``ts``/``pid``/``tid`` and a known phase;
+* timestamps are monotonically non-decreasing in file order;
+* ``B``/``E`` events balance as a LIFO stack per ``(pid, tid)`` with
+  matching names, and every stack is empty at end of file;
+* ``X`` events carry a non-negative ``dur``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "M", "C"}
+
+
+def validate_trace(document: Any) -> list[str]:
+    """Return a list of schema violations (empty when the trace is valid)."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    last_ts: float | None = None
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [key for key in REQUIRED_KEYS if key not in event]
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+            continue
+        phase = event["ph"]
+        ts = event["ts"]
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts - 1e-9:
+            errors.append(
+                f"{where}: timestamp {ts} goes backwards (previous {last_ts})"
+            )
+        last_ts = max(ts, last_ts) if last_ts is not None else ts
+
+        key = (event["pid"], event["tid"])
+        if phase == "B":
+            stacks.setdefault(key, []).append(event["name"])
+        elif phase == "E":
+            stack = stacks.get(key, [])
+            if not stack:
+                errors.append(f"{where}: 'E' for {event['name']!r} with no open 'B'")
+            else:
+                opened = stack.pop()
+                if opened != event["name"]:
+                    errors.append(
+                        f"{where}: 'E' for {event['name']!r} closes "
+                        f"open span {opened!r} (interleaved, not nested)"
+                    )
+        elif phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                errors.append(f"{where}: 'X' event needs a non-negative dur, got {duration!r}")
+
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(f"unbalanced spans on pid/tid {key}: still open {stack}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.observe.validate TRACE.json", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: unreadable trace: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_trace(document)
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        return 1
+    count = len(document["traceEvents"])
+    print(f"{path}: valid Chrome trace ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -401,3 +401,27 @@ def annotate_plan(
         allocation=allocation, profile_overrides=profile_overrides,
     )
     return annotator.annotate(plan)
+
+
+def estimate_snapshot(plan: PlanNode) -> dict[int, dict[str, float]]:
+    """Freeze a plan's per-node estimates as plain numbers.
+
+    The improved-estimate machinery overwrites ``node.est`` *in place* when
+    run-time statistics arrive, so anything that wants to compare the
+    optimizer's original numbers against reality (EXPLAIN ANALYZE, the
+    tracer's switch-decision events) must snapshot them when the plan is
+    adopted — node ids are globally unique, so snapshots from successive
+    plans of one query never collide.
+    """
+    snapshot: dict[int, dict[str, float]] = {}
+    for node in plan.walk():
+        est = node.est
+        snapshot[node.node_id] = {
+            "rows": est.rows,
+            "row_bytes": est.row_bytes,
+            "bytes": est.rows * est.row_bytes,
+            "pages": est.pages,
+            "op_cost": est.op_cost,
+            "total_cost": est.total_cost,
+        }
+    return snapshot

@@ -222,6 +222,14 @@ class StatsCollectorNode(PlanNode):
     def __init__(self, child: PlanNode, spec: CollectorSpec) -> None:
         super().__init__(child.schema, (child,))
         self.spec = spec
+        # SCIA attribution, filled in by ``insert_collectors``: the
+        # inaccuracy potential of the estimate this point checks
+        # (an ``InaccuracyPotential``; typed loosely to avoid a plans->core
+        # import cycle) and which statistics the budget kept or cut.
+        # Immutable values, so clone_plan's shallow copies share them.
+        self.scia_potential: object | None = None
+        self.scia_kept: tuple[str, ...] = ()
+        self.scia_dropped: tuple[str, ...] = ()
 
     @property
     def child(self) -> PlanNode:

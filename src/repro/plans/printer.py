@@ -30,3 +30,34 @@ def _render(node: PlanNode, depth: int, lines: list[str], show_estimates: bool) 
 def collector_nodes(plan: PlanNode) -> list[StatsCollectorNode]:
     """All statistics collectors in a plan, in pre-order."""
     return [n for n in plan.walk() if isinstance(n, StatsCollectorNode)]
+
+
+def explain_with_attribution(plan: PlanNode) -> str:
+    """Like :func:`explain`, plus a SCIA attribution line under each
+    statistics collector: the inaccuracy potential of the estimate it
+    checks and which candidate statistics the budget kept or dropped."""
+    lines: list[str] = []
+
+    def render(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        detail = node.detail()
+        head = f"{indent}{node.label}" + (f" [{detail}]" if detail else "")
+        est = node.est
+        head += f"  (rows={est.rows:.0f}, cost={est.total_cost:.1f})"
+        lines.append(head)
+        if isinstance(node, StatsCollectorNode):
+            potential = getattr(node.scia_potential, "name", None)
+            parts = []
+            if potential is not None:
+                parts.append(f"potential={potential.lower()}")
+            if node.scia_kept:
+                parts.append(f"kept: {', '.join(node.scia_kept)}")
+            if node.scia_dropped:
+                parts.append(f"dropped: {', '.join(node.scia_dropped)}")
+            if parts:
+                lines.append(f"{indent}  scia: {'; '.join(parts)}")
+        for child in node.children:
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
