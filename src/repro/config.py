@@ -69,6 +69,16 @@ def _default_parallel_prefetch() -> bool:
     return _env_flag("REPRO_PARALLEL_PREFETCH")
 
 
+def _default_zone_maps() -> bool:
+    """Zone-map scan skipping default (``REPRO_ZONE_MAPS``)."""
+    return _env_flag("REPRO_ZONE_MAPS")
+
+
+def _default_zone_map_cost() -> str:
+    """Zone-map cost accounting default (``REPRO_ZONE_MAP_COST``)."""
+    return os.environ.get("REPRO_ZONE_MAP_COST", "charge")
+
+
 def _default_tracing() -> bool:
     """Query-tracing default (``REPRO_TRACE``): *off* unless explicitly
     enabled — tracing is the one observability knob that allocates per-span
@@ -166,13 +176,16 @@ class EngineConfig:
     #: own build input still reaches it.  Paradise did not support this;
     #: the default False reproduces the paper's baseline behaviour.
     responsive_hash_joins: bool = False
-    #: Tuple-at-a-time (``"row"``), vectorized (``"batch"``) or morsel-driven
-    #: multi-process (``"parallel"``) execution.  All paths produce identical
-    #: rows, cost-clock charges and observed statistics; the batch path
-    #: amortises Python interpretation overhead over ``batch_size`` tuples
-    #: and is the default, the parallel path additionally fans leaf
-    #: pipelines across a fork-based worker pool for real multi-core
-    #: wall-clock speedup.
+    #: Tuple-at-a-time (``"row"``), vectorized (``"batch"``), morsel-driven
+    #: multi-process (``"parallel"``) or NumPy-columnar (``"columnar"``)
+    #: execution.  All paths produce identical rows, cost-clock charges and
+    #: observed statistics (columnar under the default
+    #: ``zone_map_cost_mode="charge"``); the batch path amortises Python
+    #: interpretation overhead over ``batch_size`` tuples and is the
+    #: default, the parallel path additionally fans leaf pipelines across a
+    #: fork-based worker pool, and the columnar path evaluates scan
+    #: predicates as NumPy masks over per-page-group column arrays with
+    #: zone-map group skipping.
     execution_mode: str = field(default_factory=_default_execution_mode)
     #: Rows per batch on the batch execution path.  Operators may yield
     #: slightly larger batches (scans round up to page boundaries).
@@ -210,6 +223,23 @@ class EngineConfig:
     #: still merging — overlapping real unpickling work with simulated-I/O
     #: replay the way a spill reader prefetches its next partition.
     parallel_prefetch: bool = field(default_factory=_default_parallel_prefetch)
+    #: Whether ``execution_mode="columnar"`` scans consult per-page-group
+    #: zone maps (min/max/null-count) to skip groups a filter provably
+    #: matches zero rows in.  Skipping never changes results; whether it
+    #: changes *costs* is governed by :attr:`zone_map_cost_mode`.
+    zone_map_skipping: bool = field(default_factory=_default_zone_maps)
+    #: How zone-map-skipped page groups are accounted on the simulated
+    #: clock.  ``"charge"`` (default) replays the skipped groups' page
+    #: charges, keeping CostBreakdown/buffer statistics byte-identical to
+    #: the row path — the wall-clock win comes from never materialising or
+    #: filtering the rows, and re-optimization decisions stay
+    #: mode-invariant.  ``"free"`` charges zero buffer-pool page reads for
+    #: skipped groups: the simulated I/O savings become visible in
+    #: profiles, at the price of cost/buffer parity with the other modes.
+    zone_map_cost_mode: str = field(default_factory=_default_zone_map_cost)
+    #: Distinct-value budget for dictionary-encoding a string column in the
+    #: columnar store; columns exceeding it overflow to plain encoding.
+    columnar_dictionary_max: int = 256
     #: Whether :meth:`Database.execute` serves repeated statements from the
     #: statistics-epoch plan cache.  Disabling forces cold preparation on
     #: every call; results and simulated-cost profiles are identical either
@@ -241,10 +271,10 @@ class EngineConfig:
             raise ConfigError(f"reservoir_sample_size must be positive, got {self.reservoir_sample_size}")
         if self.runtime_histogram_buckets <= 0:
             raise ConfigError(f"runtime_histogram_buckets must be positive, got {self.runtime_histogram_buckets}")
-        if self.execution_mode not in ("row", "batch", "parallel"):
+        if self.execution_mode not in ("row", "batch", "parallel", "columnar"):
             raise ConfigError(
-                "execution_mode must be 'row', 'batch' or 'parallel', "
-                f"got {self.execution_mode!r}"
+                "execution_mode must be 'row', 'batch', 'parallel' or "
+                f"'columnar', got {self.execution_mode!r}"
             )
         if self.batch_size <= 0:
             raise ConfigError(f"batch_size must be positive, got {self.batch_size}")
@@ -262,7 +292,23 @@ class EngineConfig:
             raise ConfigError(
                 f"parallel_stats must be 'exact' or 'merge', got {self.parallel_stats!r}"
             )
-        for flag in ("parallel_joins", "parallel_preagg", "parallel_prefetch", "tracing"):
+        if self.zone_map_cost_mode not in ("charge", "free"):
+            raise ConfigError(
+                "zone_map_cost_mode must be 'charge' or 'free', "
+                f"got {self.zone_map_cost_mode!r}"
+            )
+        if self.columnar_dictionary_max <= 0:
+            raise ConfigError(
+                "columnar_dictionary_max must be positive, "
+                f"got {self.columnar_dictionary_max}"
+            )
+        for flag in (
+            "parallel_joins",
+            "parallel_preagg",
+            "parallel_prefetch",
+            "tracing",
+            "zone_map_skipping",
+        ):
             if not isinstance(getattr(self, flag), bool):
                 raise ConfigError(
                     f"{flag} must be a bool, got {getattr(self, flag)!r}"

@@ -389,9 +389,10 @@ class Database:
         stays armed for the cases no scenario anticipated.
 
         ``execution_mode`` overrides :attr:`EngineConfig.execution_mode`
-        (``"row"``, ``"batch"`` or ``"parallel"``) for this query only; all
-        paths yield identical rows, cost-clock charges and observed
-        statistics.  ``workers`` overrides
+        (``"row"``, ``"batch"``, ``"parallel"`` or ``"columnar"``) for this
+        query only; all paths yield identical rows, cost-clock charges and
+        observed statistics (columnar with the default
+        ``zone_map_cost_mode="charge"``).  ``workers`` overrides
         :attr:`EngineConfig.parallel_workers` for this query (parallel mode
         only; 0 means one worker per CPU core).
 
@@ -566,6 +567,16 @@ class Database:
             parallel_rows_shipped=ctx.parallel.rows_shipped,
             parallel_rows_preaggregated=ctx.parallel.rows_preaggregated,
             parallel_prefetched_morsels=ctx.parallel.prefetched_morsels,
+            columnar_pipelines=ctx.columnar.pipelines,
+            columnar_keyed_pipelines=ctx.columnar.keyed_pipelines,
+            zone_map_skips=ctx.columnar.groups_skipped,
+            zone_map_groups_read=ctx.columnar.groups_read,
+            zone_map_pages_skipped=ctx.columnar.pages_skipped,
+            zone_map_rows_skipped=ctx.columnar.rows_skipped,
+            zone_map_by_scan={
+                node_id: dict(per_scan)
+                for node_id, per_scan in sorted(ctx.columnar.by_scan.items())
+            },
             pipeline_wall_s={
                 str(pipeline): {
                     str(pid): round(secs, 6)
@@ -613,6 +624,11 @@ class Database:
         m.counter("parallel.morsels").inc(ctx.parallel.morsels)
         m.counter("parallel.rows_shipped").inc(ctx.parallel.rows_shipped)
         m.counter("parallel.rows_preaggregated").inc(ctx.parallel.rows_preaggregated)
+        m.counter("columnar.pipelines").inc(ctx.columnar.pipelines)
+        m.counter("columnar.keyed_pipelines").inc(ctx.columnar.keyed_pipelines)
+        m.counter("columnar.zone_map.groups_read").inc(ctx.columnar.groups_read)
+        m.counter("columnar.zone_map.groups_skipped").inc(ctx.columnar.groups_skipped)
+        m.counter("columnar.zone_map.pages_skipped").inc(ctx.columnar.pages_skipped)
         m.gauge("buffer_pool.hit_rate").set(buffer_pool.stats.hit_ratio)
         m.gauge("plan_cache.hit_rate").set(self.plan_cache.stats.hit_rate)
         m.histogram("query.simulated_cost").observe(clock.now)

@@ -161,8 +161,16 @@ class PlanCache:
         parallel entries specialize on the resolved worker count and on
         the toggles that change *which pipelines* fan out (probe-side
         joins, worker pre-aggregation).  Prefetch is pure scheduling and
-        deliberately excluded: it cannot change what executes.
+        deliberately excluded: it cannot change what executes.  Columnar
+        entries specialize on the zone-map toggles: skipping changes which
+        page groups execute, and the cost mode changes what a cached
+        entry's profile meant.
         """
+        if execution_mode == "columnar":
+            return (
+                f"columnar/z{int(config.zone_map_skipping)}"
+                f"/{config.zone_map_cost_mode}"
+            )
         if execution_mode != "parallel":
             return execution_mode
         resolved = workers if workers is not None else config.parallel_workers

@@ -105,6 +105,21 @@ class ExecutionProfile:
     parallel_rows_preaggregated: int = 0
     parallel_prefetched_morsels: int = 0
     pipeline_wall_s: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Columnar execution telemetry (``execution_mode="columnar"``; all
+    #: zero/empty otherwise).  ``zone_map_skips`` counts page groups proven
+    #: empty by zone maps and skipped whole; ``zone_map_groups_read`` the
+    #: groups whose arrays were evaluated; ``zone_map_pages_skipped`` the
+    #: pages inside skipped groups; ``columnar_pipelines`` how many leaf
+    #: pipelines ran in column space (``columnar_keyed_pipelines`` of them
+    #: feeding join-probe/aggregate key extraction).  ``zone_map_by_scan``
+    #: breaks skips down per scan (keyed by scan node id).
+    columnar_pipelines: int = 0
+    columnar_keyed_pipelines: int = 0
+    zone_map_skips: int = 0
+    zone_map_groups_read: int = 0
+    zone_map_pages_skipped: int = 0
+    zone_map_rows_skipped: int = 0
+    zone_map_by_scan: dict[int, dict] = field(default_factory=dict)
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
@@ -163,6 +178,14 @@ class ExecutionProfile:
                 f"rows shipped/preaggregated="
                 f"{self.parallel_rows_shipped}/{self.parallel_rows_preaggregated} "
                 f"prefetched={self.parallel_prefetched_morsels}"
+            )
+        if self.columnar_pipelines:
+            lines.append(
+                f"columnar: pipelines={self.columnar_pipelines} "
+                f"(keyed={self.columnar_keyed_pipelines}) "
+                f"groups read/skipped="
+                f"{self.zone_map_groups_read}/{self.zone_map_skips} "
+                f"pages skipped={self.zone_map_pages_skipped}"
             )
         for event in self.events:
             lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")

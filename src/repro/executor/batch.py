@@ -81,6 +81,15 @@ def execute_node_batches(node: PlanNode, ctx: RuntimeContext) -> BatchIterator:
         parallel_stream = morsel_pipeline(node, ctx)
         if parallel_stream is not None:
             return parallel_stream
+    elif ctx.execution_mode == "columnar":
+        from .columnar import columnar_pipeline
+
+        # Leaf pipelines with vectorizable filters run over the table's
+        # column arrays with zone-map skipping; the stream is batch-path
+        # identical, including bookkeeping, so no _tracked wrapper here.
+        columnar_stream = columnar_pipeline(node, ctx)
+        if columnar_stream is not None:
+            return columnar_stream
     executor = _BATCH_EXECUTORS.get(type(node))
     if executor is None:
         raise ExecutionError(f"no batch executor for node type {type(node).__name__}")
@@ -312,19 +321,39 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> BatchIterator:
             yield from parallel_probe
             return
 
+    # On the columnar path the probe child's keys are read straight off
+    # its column arrays (zone-map skipping included); the batches are the
+    # ones the plain pipeline would yield, so the loop below is unchanged
+    # — it just stops re-extracting keys row by row.
+    keyed_probe = None
+    if ctx.execution_mode == "columnar":
+        from .columnar import columnar_keyed_batches
+
+        keyed_probe = columnar_keyed_batches(
+            node.probe,
+            ctx,
+            [node.probe.schema.index_of(col) for __, col in node.key_pairs],
+        )
+
     def probe_batches() -> BatchIterator:
         probe_count = 0
         output_count = 0
         get = hash_table.get
+        source = keyed_probe
+        if source is None:
+            source = (
+                (batch, map(probe_key, batch))
+                for batch in execute_node_batches(node.probe, ctx)
+            )
         try:
-            for batch in execute_node_batches(node.probe, ctx):
+            for batch, keys in source:
                 probe_count += len(batch)
                 out: list[Row] = []
                 append = out.append
                 extend = out.extend
                 # Key extraction and hash lookups run under map() at C
                 # speed; the Python loop body only fires to emit matches.
-                for prow, matches in zip(batch, map(get, map(probe_key, batch))):
+                for prow, matches in zip(batch, map(get, keys)):
                     if matches is None:
                         continue
                     if len(matches) == 1:
@@ -531,6 +560,7 @@ def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> BatchIterat
     input_rows = 0
     grant: int | None = None
     preaggregated = None
+    keyed_input = None
     if ctx.execution_mode == "parallel":
         from .parallel import morsel_preaggregate
 
@@ -540,10 +570,21 @@ def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> BatchIterat
         # Returns None (and we fold serially below) whenever any aggregate
         # is non-associative at the bit level (AVG, float SUM).
         preaggregated = morsel_preaggregate(node, ctx)
+    elif ctx.execution_mode == "columnar" and group_positions:
+        from .columnar import columnar_keyed_batches
+
+        # Group keys come straight off the input pipeline's column arrays;
+        # the fold below is unchanged, it just skips per-row extraction.
+        keyed_input = columnar_keyed_batches(node.child, ctx, group_positions)
     if preaggregated is not None:
         groups, input_rows, grant = preaggregated
     else:
-        for batch in execute_node_batches(node.child, ctx):
+        source = keyed_input
+        if source is None:
+            source = (
+                (batch, None) for batch in execute_node_batches(node.child, ctx)
+            )
+        for batch, keys in source:
             if grant is None:
                 grant = ctx.commit_memory(node)
             input_rows += len(batch)
@@ -552,7 +593,8 @@ def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> BatchIterat
             else:
                 buckets = {}
                 setdefault = buckets.setdefault
-                for key, row in zip(map(get_key, batch), batch):
+                key_iter = map(get_key, batch) if keys is None else keys
+                for key, row in zip(key_iter, batch):
                     setdefault(key, []).append(row)
             for key, rows_ in buckets.items():
                 states = groups.get(key)

@@ -1,0 +1,550 @@
+"""Columnar execution of leaf pipelines over page-group column arrays.
+
+``execution_mode="columnar"`` keeps the whole engine on the batch path and
+swaps the *inside* of leaf pipelines — a chain of filters/projections
+(optionally topped by a statistics collector) over a base-table sequential
+scan — for vectorized work over the table's :class:`ColumnStore`: one typed
+NumPy array per column per *page group*, where a page group is exactly the
+run of pages the serial batch scan yields as one batch.
+
+Per page group the pipeline runs in column space:
+
+* **Masks** — each filter whose predicates have exact NumPy kernels
+  (:func:`repro.executor.vector.compile_mask_filter`) evaluates as one
+  boolean mask over the group's arrays; masks narrow a selection vector
+  stage by stage, so later filters only see surviving rows, like the
+  serial short-circuit.
+* **Takes** — pure-column projections never touch data at all: they just
+  remap which base columns the pipeline's output view reads.
+* **Zone-map skipping** — before any array is touched, the *first* mask
+  stage's column-vs-constant conjuncts are tested against the group's
+  per-column :class:`~repro.storage.columnar.ZoneMap`; a group whose
+  min/max proves zero matches is skipped whole.  Skipping is only sound
+  from the first mask because every stage below it is count-preserving
+  (a take), so all skipped-group stage counts are known exactly.
+* **Materialisation** — surviving rows become tuples again at the top of
+  the columnar region: when the output view is the identity, the yielded
+  batches are slices of the heap's own row tuples; otherwise tuples are
+  rebuilt from ``ndarray.tolist()`` values, which round-trip exactly.
+  Any stage without a columnar kernel (UDF filters, computed projections,
+  the collector) runs above that point as the ordinary compiled batch
+  kernel — per-operator fallback, not per-query.
+
+Keyed variants (:func:`columnar_keyed_batches`) additionally read hash-join
+probe keys / aggregation group keys straight off the column arrays, so the
+consuming operator skips per-row key extraction.
+
+Parity contract: rows, batch boundaries, ``CostBreakdown``, buffer
+statistics and observed statistics are byte-identical to the batch path.
+Charges are *replayed* — each group's page accesses and per-page CPU at the
+moment the group is merged, streaming-stage totals from exact integer row
+counts at end of stream — exactly like the morsel-parallel merge parent.
+Skipped groups' treatment is governed by ``EngineConfig.zone_map_cost_mode``:
+
+* ``"charge"`` (default) replays a skipped group's scan charges as if its
+  pages had been read, so every simulated quantity stays byte-identical to
+  the row/batch paths and the zone maps are purely a wall-clock win.
+* ``"free"`` charges skipped groups nothing (no buffer access, no CPU, no
+  downstream consumed-row charges), modelling storage that can actually
+  avoid the I/O — simulated costs then *diverge* from the row path by
+  design, and scan/filter actual-row counts reflect only what was read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+try:  # Guarded import: the engine must load without NumPy installed.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None  # type: ignore[assignment]
+
+from ..plans.logical import ColumnExpr, CompareOp, Comparison, InPredicate
+from ..plans.physical import FilterNode, PlanNode, ProjectNode, SeqScanNode
+from ..storage.columnar import ColumnGroup, ZoneMap, numpy_available
+from ..storage.table import Table
+from .collector import RuntimeCollector
+from .parallel import _extract_chain, _finalize_collector
+from .runtime import RuntimeContext
+from .vector import (
+    compile_batch_filter,
+    compile_batch_projector,
+    compile_mask_conjuncts,
+)
+
+Batch = list
+
+
+@dataclass
+class _ColumnarStage:
+    """One pipeline stage, classified for columnar execution.
+
+    ``kind`` is ``"mask"`` (NumPy mask filter; ``fn`` is the per-conjunct
+    kernel list from :func:`compile_mask_conjuncts`), ``"take"`` (pure-column
+    projection — a view remap, no runtime work), ``"batch_filter"`` /
+    ``"batch_project"`` (tuple-space fallback kernels above the columnar
+    region) or ``"collect"`` (the statistics collector).
+    """
+
+    kind: str
+    node: PlanNode
+    fn: object | None
+
+
+@dataclass
+class _Prepared:
+    """A leaf pipeline compiled for columnar execution."""
+
+    nodes_bottom_up: list[PlanNode]
+    scan: SeqScanNode
+    table: Table
+    stages: list[_ColumnarStage]
+    #: Number of leading stages that run in column space (masks/takes).
+    split: int
+    #: Output view at the top of the columnar region: schema position ->
+    #: base column index.
+    out_view: tuple[int, ...]
+    #: Whether the output view is the identity over the full base schema
+    #: (yield heap-row slices instead of rebuilding tuples).
+    identity: bool
+    #: Index (into ``stages``) of the first mask stage, or None.
+    first_mask: int | None
+    #: Zone-map skip conditions derived from the first mask stage:
+    #: ``(base column, check(zone) -> bool)`` pairs; any True skips.
+    conditions: tuple = ()
+
+
+# ----------------------------------------------------------------------
+# Pipeline compilation
+# ----------------------------------------------------------------------
+
+
+def _compile_stages(
+    nodes_bottom_up: list[PlanNode], scan: SeqScanNode
+) -> tuple[list[_ColumnarStage], tuple[int, ...], int]:
+    """Split the chain into a columnar region and a batch-kernel tail.
+
+    Walks bottom-up maintaining the *view* (schema position -> base column
+    index).  Filters with full mask kernels and pure-column projections
+    extend the region; the first stage without a columnar form ends it, and
+    that stage plus everything above compiles as the ordinary serial batch
+    kernels (under the serial cache keys, so closures are shared with
+    batch-mode executions of the same plan).
+    """
+    view = list(range(len(scan.schema)))
+    stages: list[_ColumnarStage] = []
+    split = 0
+    for node in nodes_bottom_up[:]:
+        if isinstance(node, FilterNode):
+            view_t = tuple(view)
+            fns = node.compiled(
+                "mask_filter",
+                lambda n=node, v=view_t: compile_mask_conjuncts(
+                    n.predicates, n.child.schema, v.__getitem__
+                ),
+            )
+            if fns is None:
+                break
+            stages.append(_ColumnarStage("mask", node, fns))
+        elif isinstance(node, ProjectNode):
+            if not all(isinstance(item.expr, ColumnExpr) for item in node.output):
+                break
+            child_schema = node.child.schema
+            view = [
+                view[child_schema.index_of(item.expr.name)] for item in node.output
+            ]
+            stages.append(_ColumnarStage("take", node, None))
+        else:
+            break
+        split += 1
+    for node in nodes_bottom_up[split:]:
+        if isinstance(node, FilterNode):
+            fn = node.compiled(
+                "batch_filter",
+                lambda n=node: compile_batch_filter(n.predicates, n.child.schema),
+            )
+            stages.append(_ColumnarStage("batch_filter", node, fn))
+        elif isinstance(node, ProjectNode):
+            fn = node.compiled(
+                "batch_project",
+                lambda n=node: compile_batch_projector(n.output, n.child.schema),
+            )
+            stages.append(_ColumnarStage("batch_project", node, fn))
+        else:  # StatsCollectorNode (the only other chain member)
+            stages.append(_ColumnarStage("collect", node, None))
+    return stages, tuple(view), split
+
+
+def _comparison_check(op: CompareOp, value: object):
+    """``check(zone) -> True`` when no value in [min, max] can satisfy
+    ``column <op> value``.  Conservative: groups containing NULLs never
+    skip (the serial path would raise on a NULL comparison, and skipping
+    must not change behaviour), and incomparable types never skip."""
+
+    def check(zone: ZoneMap) -> bool:
+        if zone.null_count or zone.min_value is None:
+            return False
+        mn, mx = zone.min_value, zone.max_value
+        try:
+            if op is CompareOp.EQ:
+                return value < mn or value > mx
+            if op is CompareOp.LT:
+                return mn >= value
+            if op is CompareOp.LE:
+                return mn > value
+            if op is CompareOp.GT:
+                return mx <= value
+            if op is CompareOp.GE:
+                return mx < value
+            return mn == mx == value  # NE
+        except TypeError:
+            return False
+
+    return check
+
+
+def _in_check(values: tuple):
+    def check(zone: ZoneMap) -> bool:
+        if zone.null_count or zone.min_value is None:
+            return False
+        mn, mx = zone.min_value, zone.max_value
+        try:
+            return all(v < mn or v > mx for v in values)
+        except TypeError:
+            return False
+
+    return check
+
+
+def _zone_conditions(node: FilterNode, view: Sequence[int]) -> tuple:
+    """Skip conditions provable from zone maps for one filter's conjuncts.
+
+    Only column-vs-constant comparisons and column IN-lists yield
+    conditions; any *one* disproved conjunct disproves the conjunction, so
+    other conjunct shapes simply contribute nothing.
+    """
+    conditions = []
+    schema = node.child.schema
+    for pred in node.predicates:
+        if isinstance(pred, Comparison):
+            normalized = pred.normalized()
+            pair = normalized.column_and_constant()
+            if pair is not None:
+                column, value = pair
+                conditions.append(
+                    (view[schema.index_of(column)],
+                     _comparison_check(normalized.op, value))
+                )
+        elif isinstance(pred, InPredicate) and isinstance(pred.expr, ColumnExpr):
+            conditions.append(
+                (view[schema.index_of(pred.expr.name)],
+                 _in_check(tuple(pred.values)))
+            )
+    return tuple(conditions)
+
+
+def _prepare(node: PlanNode, ctx: RuntimeContext) -> _Prepared | None:
+    """Compile ``node`` as a columnar leaf pipeline, or None to stay serial."""
+    if not numpy_available():
+        return None
+    extracted = _extract_chain(node)
+    if extracted is None:
+        return None
+    chain, scan = extracted
+    table = ctx.catalog.table(scan.table_name)
+    nodes_bottom_up = list(reversed(chain))
+    stages, out_view, split = _compile_stages(nodes_bottom_up, scan)
+    first_mask = next(
+        (i for i, stage in enumerate(stages[:split]) if stage.kind == "mask"),
+        None,
+    )
+    conditions: tuple = ()
+    if first_mask is not None:
+        # Every stage below the first mask is a take (count-preserving), so
+        # a proven-empty group's per-stage counts are all known: group rows
+        # below the mask, zero at and above it.  That is what makes a skip
+        # charge-safe.
+        view_below = list(range(len(scan.schema)))
+        for stage in stages[:first_mask]:
+            child_schema = stage.node.child.schema
+            view_below = [
+                view_below[child_schema.index_of(item.expr.name)]
+                for item in stage.node.output
+            ]
+        conditions = _zone_conditions(stages[first_mask].node, view_below)
+    identity = out_view == tuple(range(len(table.schema)))
+    return _Prepared(
+        nodes_bottom_up=nodes_bottom_up,
+        scan=scan,
+        table=table,
+        stages=stages,
+        split=split,
+        out_view=out_view,
+        identity=identity,
+        first_mask=first_mask,
+        conditions=conditions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def columnar_pipeline(
+    node: PlanNode, ctx: RuntimeContext
+) -> Iterator[Batch] | None:
+    """A columnar batch iterator for ``node``, or None to stay serial.
+
+    A subtree qualifies when it is a leaf pipeline with at least one mask
+    stage — without one, the columnar path would merely re-materialise the
+    heap rows the batch scan already yields.  Bookkeeping (mark started /
+    completed, charges, collector finalisation) is internal, mirroring the
+    morsel-parallel merge parent.
+    """
+    prepared = _prepare(node, ctx)
+    if prepared is None or prepared.first_mask is None:
+        return None
+    return _strip_keys(_run_pipeline(ctx, prepared, None))
+
+
+def columnar_keyed_batches(
+    node: PlanNode, ctx: RuntimeContext, key_positions: Sequence[int]
+) -> Iterator[tuple[Batch, list]] | None:
+    """A columnar ``(batch, keys)`` iterator for a keyed consumer, or None.
+
+    ``key_positions`` index ``node``'s output schema; the yielded ``keys``
+    list is aligned with the batch and holds exactly what the consumer's
+    ``key_extractor`` would have produced (scalars for one position, tuples
+    otherwise) — read off the column arrays instead of row by row.  Unlike
+    plain pipelines a bare scan qualifies (the key extraction is the win),
+    but the whole chain must run in column space: above a fallback batch
+    kernel the arrays no longer describe the stream.
+    """
+    prepared = _prepare(node, ctx)
+    if prepared is None or prepared.split != len(prepared.stages):
+        return None
+    return _run_pipeline(ctx, prepared, tuple(key_positions))
+
+
+def _strip_keys(gen: Iterator[tuple[Batch, list]]) -> Iterator[Batch]:
+    for batch, __keys in gen:
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _replay_group_charges(ctx: RuntimeContext, table: Table, group: ColumnGroup):
+    """One group's scan charges, exactly as the serial scan interleaves
+    them ahead of the batch yield: a sequential buffer access plus per-page
+    tuple CPU for every page of the group."""
+    access = ctx.buffer_pool.access
+    charge_cpu = ctx.clock.charge_cpu
+    cpu_per_tuple = ctx.cost_model.params.cpu_per_tuple
+    table_id = table.table_id
+    per_page = table.rows_per_page
+    total_rows = table.row_count
+    for page_no in range(group.first_page, group.last_page):
+        access(table_id, page_no, sequential=True)
+        charge_cpu(min(per_page, total_rows - page_no * per_page) * cpu_per_tuple)
+
+
+def _charge_streaming_stages(ctx, stages, scan_rows, stage_rows) -> None:
+    """End-of-stream charges for every filter/projection, in serial firing
+    order (bottom-up) from exact integer row counts — same formulas and
+    ordering as the serial generators' ``finally`` blocks."""
+    params = ctx.cost_model.params
+    consumed = scan_rows
+    for position, stage in enumerate(stages):
+        if stage.kind in ("mask", "batch_filter"):
+            per_row = max(1, len(stage.node.predicates)) * params.cpu_per_compare
+            ctx.clock.charge_cpu(consumed * per_row)
+        elif stage.kind in ("take", "batch_project"):
+            ctx.clock.charge_cpu(consumed * params.cpu_per_tuple)
+        consumed = stage_rows[position]
+
+
+def _zone_skips(conditions: tuple, group: ColumnGroup) -> bool:
+    zones = group.zones
+    for position, check in conditions:
+        if check(zones[position]):
+            return True
+    return False
+
+
+def _run_pipeline(
+    ctx: RuntimeContext, prep: _Prepared, key_positions: tuple[int, ...] | None
+) -> Iterator[tuple[Batch, list | None]]:
+    """The columnar pipeline body: per group, zone-check then mask/take in
+    column space, materialise, run fallback kernels, yield."""
+    config = ctx.config
+    table = prep.table
+    store = table.column_store(ctx.batch_size, config.columnar_dictionary_max)
+    scan = prep.scan
+    stages = prep.stages
+    split = prep.split
+    charge_skipped = config.zone_map_cost_mode == "charge"
+    conditions = prep.conditions if config.zone_map_skipping else ()
+    first_mask = prep.first_mask if conditions else None
+
+    telemetry = ctx.columnar
+    telemetry.pipelines += 1
+    pipeline_id = telemetry.pipelines
+    if key_positions is not None:
+        telemetry.keyed_pipelines += 1
+
+    collector: RuntimeCollector | None = None
+    collector_node = None
+    for stage in stages:
+        if stage.kind == "collect":
+            collector_node = stage.node
+            collector = RuntimeCollector(
+                collector_node, collector_node.child.schema, config
+            )
+
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"columnar-pipeline-{pipeline_id}",
+            "pipeline",
+            kind="columnar-keyed" if key_positions is not None else "columnar",
+            groups=len(store.groups),
+            root=prep.nodes_bottom_up[-1].label if prep.nodes_bottom_up else scan.label,
+        )
+
+    ctx.mark_started(scan)
+    for pnode in prep.nodes_bottom_up:
+        ctx.mark_started(pnode)
+
+    values_of = store.values
+    rows = table.rows
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    groups_read = 0
+    groups_skipped = 0
+    pages_skipped = 0
+    rows_skipped = 0
+    try:
+        for group in store.groups:
+            group_rows = group.row_count
+            if conditions and _zone_skips(conditions, group):
+                groups_skipped += 1
+                pages_skipped += group.page_count
+                rows_skipped += group_rows
+                if charge_skipped:
+                    # Parity mode: the skip saves the real work (tuple
+                    # materialisation, predicate evaluation) but replays
+                    # the simulated page charges, so every cost/buffer
+                    # number matches a path that read the group.
+                    _replay_group_charges(ctx, table, group)
+                    scan_rows += group_rows
+                    for position in range(first_mask):
+                        stage_rows[position] += group_rows
+                continue
+            groups_read += 1
+            _replay_group_charges(ctx, table, group)
+            scan_rows += group_rows
+
+            # -- columnar region: masks narrow a selection vector ------
+            sel = None  # row indices into the group; None = all rows
+            survivors = group_rows
+            position = 0
+            for stage in stages[:split]:
+                if stage.kind == "mask":
+                    # Conjuncts narrow the selection one by one: a row
+                    # failing conjunct i never reaches conjunct i+1, the
+                    # serial short-circuit (observable when a later
+                    # conjunct raises, e.g. comparing a NULL).
+                    for fn in stage.fn:
+
+                        def resolve(column, group=group, sel=sel):
+                            values = values_of(group, column)
+                            return values if sel is None else values[sel]
+
+                        mask = fn(resolve)
+                        sel = _np.nonzero(mask)[0] if sel is None else sel[mask]
+                        survivors = len(sel)
+                        if survivors == 0:
+                            break
+                stage_rows[position] += survivors
+                position += 1
+                if survivors == 0:
+                    break
+            if survivors == 0:
+                continue
+
+            # -- materialise the region's output -----------------------
+            full = sel is None or survivors == group_rows
+            if prep.identity:
+                if full:
+                    batch = rows[group.start_row : group.end_row]
+                else:
+                    start = group.start_row
+                    batch = [rows[start + i] for i in sel.tolist()]
+            else:
+                columns = []
+                for column in prep.out_view:
+                    values = values_of(group, column)
+                    columns.append(values.tolist() if full else values[sel].tolist())
+                if len(columns) == 1:
+                    batch = [(v,) for v in columns[0]]
+                else:
+                    batch = list(zip(*columns))
+
+            keys: list | None = None
+            if key_positions is not None:
+                key_columns = []
+                for pos in key_positions:
+                    values = values_of(group, prep.out_view[pos])
+                    key_columns.append(
+                        values.tolist() if full else values[sel].tolist()
+                    )
+                if len(key_columns) == 1:
+                    keys = key_columns[0]
+                else:
+                    keys = list(zip(*key_columns))
+
+            # -- fallback batch kernels above the region ----------------
+            for stage in stages[split:]:
+                if stage.kind == "collect":
+                    if batch:
+                        collector.observe_batch(batch)
+                elif batch:
+                    batch = stage.fn(batch)
+                stage_rows[position] += len(batch)
+                position += 1
+            if batch:
+                yield batch, keys
+    finally:
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
+        telemetry.groups_read += groups_read
+        telemetry.groups_skipped += groups_skipped
+        telemetry.pages_skipped += pages_skipped
+        telemetry.rows_skipped += rows_skipped
+        per_scan = telemetry.by_scan.setdefault(
+            scan.node_id,
+            {"table": scan.table_name, "groups_read": 0,
+             "groups_skipped": 0, "pages_skipped": 0},
+        )
+        per_scan["groups_read"] += groups_read
+        per_scan["groups_skipped"] += groups_skipped
+        per_scan["pages_skipped"] += pages_skipped
+
+    # Full drain only, matching the serial collector's after-loop (not
+    # ``finally``) semantics and the serial completion bookkeeping.
+    if collector is not None:
+        _finalize_collector(ctx, collector_node, collector)
+    ctx.mark_completed(scan, scan_rows)
+    for position, pnode in enumerate(prep.nodes_bottom_up):
+        ctx.mark_completed(pnode, stage_rows[position])
+    if tracer is not None:
+        tracer.end(
+            span,
+            rows=stage_rows[-1] if stage_rows else scan_rows,
+            groups_skipped=groups_skipped,
+        )

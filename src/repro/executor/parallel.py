@@ -110,6 +110,7 @@ from ..plans.physical import (
     StatsCollectorNode,
 )
 from ..stats.distinct import _mix64
+from ..storage.columnar import page_groups
 from ..storage.schema import DataType
 from ..storage.table import Row, Table
 from .collector import CollectorPartial, RuntimeCollector
@@ -344,25 +345,11 @@ def _run_morsel(index: int) -> _MorselResult:
 def _page_groups(table: Table, batch_size: int) -> list[tuple[int, int]]:
     """Page ranges matching the serial batch scan's yield boundaries.
 
-    The serial scan accumulates whole pages until at least ``batch_size``
-    rows are buffered, then yields; replicating those run boundaries here
-    is what lets the merged parallel stream reproduce the serial batch
-    structure (and charge interleaving) exactly.
+    Delegates to the canonical :func:`repro.storage.columnar.page_groups`
+    — the columnar store derives its group geometry from the same function,
+    so the morsel scheduler and the column arrays can never drift apart.
     """
-    per_page = table.rows_per_page
-    total_rows = table.row_count
-    groups: list[tuple[int, int]] = []
-    start = 0
-    buffered = 0
-    for page_no in range(table.page_count):
-        buffered += min(per_page, total_rows - page_no * per_page)
-        if buffered >= batch_size:
-            groups.append((start, page_no + 1))
-            start = page_no + 1
-            buffered = 0
-    if buffered:
-        groups.append((start, table.page_count))
-    return groups
+    return page_groups(table, batch_size)
 
 
 def _group_morsels(

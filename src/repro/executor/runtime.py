@@ -125,6 +125,35 @@ class ParallelExecStats:
 
 
 @dataclass
+class ColumnarExecStats:
+    """Columnar-execution telemetry accumulated over one query run.
+
+    Counts what the columnar path did — pipelines taken, page groups read
+    versus skipped via zone maps.  Under the default
+    ``zone_map_cost_mode="charge"`` these are purely observational (skipped
+    groups' simulated charges are replayed, so costs stay bit-identical to
+    the serial batch path); under ``"free"`` the skip counts explain
+    exactly where the simulated cost diverges.
+    """
+
+    #: Leaf pipelines that ran in column space (keyed ones included).
+    pipelines: int = 0
+    #: Of those, keyed pipelines feeding a hash join probe or aggregate.
+    keyed_pipelines: int = 0
+    #: Page groups whose arrays were evaluated.
+    groups_read: int = 0
+    #: Page groups skipped whole via zone maps.
+    groups_skipped: int = 0
+    #: Pages belonging to skipped groups.
+    pages_skipped: int = 0
+    #: Rows belonging to skipped groups (never materialised or filtered).
+    rows_skipped: int = 0
+    #: Per-scan breakdown keyed by scan node id:
+    #: ``{"table", "groups_read", "groups_skipped", "pages_skipped"}``.
+    by_scan: dict[int, dict] = field(default_factory=dict)
+
+
+@dataclass
 class RuntimeContext:
     """Mutable state shared by all operators of one query execution."""
 
@@ -152,6 +181,8 @@ class RuntimeContext:
     reallocations: int = 0
     #: Morsel-parallel telemetry (populated by :mod:`repro.executor.parallel`).
     parallel: ParallelExecStats = field(default_factory=ParallelExecStats)
+    #: Columnar telemetry (populated by :mod:`repro.executor.columnar`).
+    columnar: ColumnarExecStats = field(default_factory=ColumnarExecStats)
     #: The query's total workspace budget in pages; the parallel executor
     #: bounds its in-flight morsel staging by what the allocation left free.
     memory_budget_pages: int = 0
@@ -167,7 +198,7 @@ class RuntimeContext:
 
     @property
     def execution_mode(self) -> str:
-        """``"row"``, ``"batch"`` or ``"parallel"`` execution."""
+        """``"row"``, ``"batch"``, ``"parallel"`` or ``"columnar"`` execution."""
         return self.config.execution_mode
 
     @property

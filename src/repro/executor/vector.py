@@ -31,9 +31,15 @@ the pre-compiled ``def`` with fresh cells runs per plan node.
 
 from __future__ import annotations
 
+import operator
 from collections import OrderedDict
 from types import CodeType
 from typing import Callable, Sequence
+
+try:  # Optional: only the columnar mask kernels need NumPy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None  # type: ignore[assignment]
 
 from ..plans.logical import (
     AndPredicate,
@@ -174,3 +180,178 @@ def compile_batch_projector(
     row = f"({parts[0]},)" if len(parts) == 1 else "(" + ", ".join(parts) + ")"
     source = f"def _batch_project(batch):\n    return [{row} for r in batch]"
     return _instantiate(source, "<batch-project>", "_batch_project", ns.cells)
+
+
+# ----------------------------------------------------------------------
+# NumPy mask kernels (columnar execution path)
+# ----------------------------------------------------------------------
+#
+# The columnar executor evaluates a filter as one boolean mask over a page
+# group's column arrays instead of one Python expression per row.  A filter
+# compiles to a closure tree — per-group overhead is O(tree size), per-row
+# work runs inside NumPy — taking a ``resolve(column) -> ndarray`` callback
+# so the caller controls where arrays come from (and how dictionary columns
+# decode).  Any predicate shape without an exact NumPy equivalent returns
+# None and the caller falls back to the tuple-space batch kernel for that
+# operator: notably UDF calls, and division by anything but a non-zero
+# constant (NumPy's division-by-zero semantics differ from Python's).
+#
+# Semantics parity: comparisons/arithmetic on int64/float64 arrays follow
+# the same integer/IEEE-754 rules as Python scalars; object arrays apply the
+# Python operators elementwise.  ``AND`` conjunctions become ``&`` of masks,
+# which is equivalent to short-circuit evaluation because predicates are
+# side-effect-free.
+
+_MASK_OPS = {
+    CompareOp.EQ: operator.eq,
+    CompareOp.NE: operator.ne,
+    CompareOp.LT: operator.lt,
+    CompareOp.LE: operator.le,
+    CompareOp.GT: operator.gt,
+    CompareOp.GE: operator.ge,
+}
+
+_ARITH_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+def _mask_expr(expr: ScalarExpr, schema: Schema, position_map):
+    """Compile a scalar expression to ``fn(resolve) -> ndarray | scalar``.
+
+    Returns None when the expression has no exact NumPy kernel.
+    """
+    if isinstance(expr, ColumnExpr):
+        column = position_map(schema.index_of(expr.name))
+        return lambda resolve: resolve(column)
+    if isinstance(expr, ConstExpr):
+        value = expr.value
+        return lambda resolve: value
+    if isinstance(expr, ArithExpr):
+        op = _ARITH_OPS.get(expr.op)
+        if op is None:
+            return None
+        if expr.op == "/":
+            # Python raises ZeroDivisionError row by row; NumPy does not.
+            # Only a provably non-zero constant divisor is equivalent.
+            if not (isinstance(expr.right, ConstExpr) and expr.right.value != 0):
+                return None
+        left = _mask_expr(expr.left, schema, position_map)
+        right = _mask_expr(expr.right, schema, position_map)
+        if left is None or right is None:
+            return None
+        return lambda resolve: op(left(resolve), right(resolve))
+    if isinstance(expr, NegExpr):
+        child = _mask_expr(expr.child, schema, position_map)
+        if child is None:
+            return None
+        return lambda resolve: -child(resolve)
+    return None  # FuncExpr / future shapes: no vector kernel
+
+
+def _mask_predicate(pred: Predicate, schema: Schema, position_map):
+    """Compile a predicate to ``fn(resolve) -> bool ndarray``, or None."""
+    if isinstance(pred, Comparison):
+        if not pred.columns():
+            return None  # constant-only comparison never yields an array
+        left = _mask_expr(pred.left, schema, position_map)
+        right = _mask_expr(pred.right, schema, position_map)
+        if left is None or right is None:
+            return None
+        op = _MASK_OPS[pred.op]
+        return lambda resolve: op(left(resolve), right(resolve))
+    if isinstance(pred, InPredicate):
+        if not pred.columns():
+            return None
+        expr = _mask_expr(pred.expr, schema, position_map)
+        if expr is None:
+            return None
+        values = list(pred.values)
+        return lambda resolve: _np.isin(expr(resolve), values)
+    if isinstance(pred, AndPredicate):
+        children = [_mask_predicate(c, schema, position_map) for c in pred.children]
+        if any(c is None for c in children):
+            return None
+
+        def conjunction(resolve, children=children):
+            mask = children[0](resolve)
+            for child in children[1:]:
+                mask = mask & child(resolve)
+            return mask
+
+        return conjunction
+    if isinstance(pred, OrPredicate):
+        children = [_mask_predicate(c, schema, position_map) for c in pred.children]
+        if any(c is None for c in children):
+            return None
+
+        def disjunction(resolve, children=children):
+            mask = children[0](resolve)
+            for child in children[1:]:
+                mask = mask | child(resolve)
+            return mask
+
+        return disjunction
+    if isinstance(pred, NotPredicate):
+        child = _mask_predicate(pred.child, schema, position_map)
+        if child is None:
+            return None
+        return lambda resolve: ~child(resolve)
+    return None  # UDF predicates and future shapes
+
+
+def compile_mask_conjuncts(
+    predicates: Sequence[Predicate],
+    schema: Schema,
+    position_map: Callable[[int], int] | None = None,
+) -> list | None:
+    """Compile a conjunction to one NumPy mask function *per conjunct*.
+
+    Each returned ``fn(resolve) -> bool ndarray`` evaluates over the arrays
+    ``resolve`` serves (``resolve`` takes positions already passed through
+    ``position_map``, which translates schema positions to base-column
+    indices when the filter sits above pure-column projections).  Callers
+    must apply the conjuncts *in order, narrowing the row selection between
+    them*: that reproduces the serial per-row short-circuit, where a row
+    failing conjunct *i* never sees conjunct *i+1* — observable when a
+    later conjunct would raise (e.g. a NULL comparison).  Returns None —
+    caller falls back to :func:`compile_batch_filter` — when NumPy is
+    unavailable or any conjunct lacks an exact kernel.
+    """
+    if _np is None or not predicates:
+        return None
+    if position_map is None:
+        position_map = lambda position: position  # noqa: E731
+    compiled = [_mask_predicate(p, schema, position_map) for p in predicates]
+    if any(fn is None for fn in compiled):
+        return None
+    return compiled
+
+
+def compile_mask_filter(
+    predicates: Sequence[Predicate],
+    schema: Schema,
+    position_map: Callable[[int], int] | None = None,
+) -> Callable | None:
+    """Compile a conjunction to one folded NumPy boolean-mask function.
+
+    The eager fold (``&`` across conjuncts) is only short-circuit-safe for
+    single-conjunct filters; multi-conjunct callers should prefer
+    :func:`compile_mask_conjuncts`.
+    """
+    compiled = compile_mask_conjuncts(predicates, schema, position_map)
+    if compiled is None:
+        return None
+    if len(compiled) == 1:
+        return compiled[0]
+
+    def conjunction(resolve, compiled=compiled):
+        mask = compiled[0](resolve)
+        for fn in compiled[1:]:
+            mask = mask & fn(resolve)
+        return mask
+
+    return conjunction

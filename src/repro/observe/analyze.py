@@ -98,6 +98,10 @@ class NodeAnalysis:
     sim_window: tuple[float, float] | None
     rows_q_error: float | None
     collector: CollectorInsight | None = None
+    #: For sequential scans executed on the columnar path: page groups
+    #: skipped via zone maps vs. read (``{"groups_read", "groups_skipped",
+    #: "pages_skipped", "table"}``), None otherwise.
+    zone_map: dict | None = None
     #: Shown when the node never completed: a mid-query switch abandoned
     #: the plan, or a consumer (e.g. LIMIT) stopped pulling early.
     not_run_note: str = "not executed"
@@ -134,6 +138,15 @@ class NodeAnalysis:
         else:
             act = f"{indent}    act:  ({self.not_run_note})"
         lines = [head, est, act]
+        if self.zone_map is not None:
+            read = self.zone_map.get("groups_read", 0)
+            skipped = self.zone_map.get("groups_skipped", 0)
+            total = read + skipped
+            rate = (skipped / total) if total else 0.0
+            lines.append(
+                f"{indent}    zone maps: skipped {skipped}/{total} page groups "
+                f"({rate:.0%}, {self.zone_map.get('pages_skipped', 0)} pages)"
+            )
         if self.collector is not None:
             lines.append(f"{indent}    {self.collector.format()}")
         return lines
@@ -311,6 +324,9 @@ def analyze_execution(
                     else "did not complete — consumer stopped pulling early"
                 ),
             )
+            per_scan = ctx.columnar.by_scan.get(node.node_id)
+            if per_scan is not None:
+                node_analysis.zone_map = dict(per_scan)
             if isinstance(node, StatsCollectorNode):
                 node_analysis.collector = _collector_insight(node, ctx, rows_q_error)
             analysis.nodes.append(node_analysis)

@@ -2,6 +2,7 @@
 
 from .buffer import BufferPool, BufferStats
 from .catalog import Catalog, TableEntry
+from .columnar import ColumnStore, ZoneMap, numpy_available, page_groups
 from .disk import CostBreakdown, CostClock
 from .index import Index, build_index
 from .schema import Column, DataType, Schema, date_to_int, int_to_date
@@ -13,6 +14,7 @@ __all__ = [
     "BufferStats",
     "Catalog",
     "Column",
+    "ColumnStore",
     "CostBreakdown",
     "CostClock",
     "DataType",
@@ -22,7 +24,10 @@ __all__ = [
     "Table",
     "TableEntry",
     "TempTableManager",
+    "ZoneMap",
     "build_index",
     "date_to_int",
     "int_to_date",
+    "numpy_available",
+    "page_groups",
 ]

@@ -1,0 +1,395 @@
+"""Columnar page groups: typed NumPy arrays per column, with zone maps.
+
+A :class:`ColumnStore` is a columnar shadow of a heap :class:`~.table.Table`:
+the table's rows, cut into *page groups* (the runs of whole pages the serial
+batch scan accumulates into one batch — see :func:`page_groups`), with one
+typed NumPy array per column per group and a per-group per-column
+:class:`ZoneMap` (min / max / null count).  The heap rows remain the source
+of truth — the store is a derived, incrementally-maintained acceleration
+structure that the columnar executor (:mod:`repro.executor.columnar`) uses
+for vectorized filter masks, key extraction and zone-map scan skipping.
+
+Column encodings:
+
+* ``"int64"`` / ``"float64"`` — numeric columns (INTEGER, DATE ordinals,
+  FLOAT) as native NumPy arrays.  ``ndarray.tolist()`` round-trips exact
+  Python scalars, so values materialized from arrays are byte-identical to
+  the heap tuples' values.
+* ``"dict"`` — low-cardinality string columns: one table-wide, append-only
+  dictionary (value → code) plus an ``int32`` code array per group.  NULLs
+  encode as code ``-1``.  When the dictionary exceeds the configured
+  distinct-value budget the column *overflows* to plain encoding and every
+  existing group's codes are decoded in place.
+* ``"object"`` — the always-correct fallback: Python objects in an object
+  array (mixed types, NULLs, integers beyond int64).
+
+Maintenance: :meth:`Table.append_rows <repro.storage.table.Table.append_rows>`
+re-syncs every attached store after each bulk append.  Appends only ever
+extend the row list, so group boundaries of full groups are stable — sync
+keeps the longest valid prefix of built groups and rebuilds just the tail
+(at most the previously-partial final group plus the new rows).  Encoding
+demotions (dictionary overflow, int64 overflow, a NULL arriving in a
+numeric column) re-encode the affected column across all groups, which
+keeps every group's representation uniform per column.
+
+NumPy is an optional dependency of this module: when it is unavailable the
+store reports :func:`numpy_available` as False and the columnar executor
+falls back to the batch path; nothing else in the engine imports NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .schema import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .table import Table
+
+try:  # NumPy is baked into the supported environments but stays optional.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+
+def numpy_available() -> bool:
+    """Whether the columnar representation can be built at all."""
+    return np is not None
+
+
+def page_groups(table: "Table", batch_size: int) -> list[tuple[int, int]]:
+    """Page ranges matching the serial batch scan's yield boundaries.
+
+    The serial scan accumulates whole pages until at least ``batch_size``
+    rows are buffered, then yields; every consumer that wants to reproduce
+    the serial batch structure — the morsel scheduler, the columnar store —
+    derives its geometry from this one function so the boundaries can never
+    drift apart.
+    """
+    per_page = table.rows_per_page
+    total_rows = table.row_count
+    groups: list[tuple[int, int]] = []
+    start = 0
+    buffered = 0
+    for page_no in range(table.page_count):
+        buffered += min(per_page, total_rows - page_no * per_page)
+        if buffered >= batch_size:
+            groups.append((start, page_no + 1))
+            start = page_no + 1
+            buffered = 0
+    if buffered:
+        groups.append((start, table.page_count))
+    return groups
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Min / max / null-count summary of one column over one page group.
+
+    ``min_value`` / ``max_value`` are exact Python values (never NumPy
+    scalars) over the group's non-NULL entries, or ``None`` when the group
+    holds only NULLs.  A zone map is a *sound over-approximation*: a scan
+    predicate that cannot be satisfied by any value in ``[min, max]`` with
+    ``null_count == 0`` proves the group matches zero rows.
+    """
+
+    min_value: object | None
+    max_value: object | None
+    null_count: int
+    row_count: int
+
+    @property
+    def all_null(self) -> bool:
+        """Whether every row of the group is NULL in this column."""
+        return self.null_count == self.row_count
+
+
+class _Dictionary:
+    """A table-wide, append-only value dictionary for one string column."""
+
+    __slots__ = ("codes", "values", "_values_array")
+
+    def __init__(self) -> None:
+        self.codes: dict[object, int] = {}
+        self.values: list[object] = []
+        self._values_array = None
+
+    def encode(self, value: object) -> int:
+        code = self.codes.get(value)
+        if code is None:
+            code = self.codes[value] = len(self.values)
+            self.values.append(value)
+            self._values_array = None
+        return code
+
+    def values_array(self):
+        """The dictionary's values as an object array (cached per size)."""
+        if self._values_array is None:
+            arr = np.empty(len(self.values), dtype=object)
+            arr[:] = self.values
+            self._values_array = arr
+        return self._values_array
+
+
+class ColumnGroup:
+    """One page group: per-column arrays plus per-column zone maps."""
+
+    __slots__ = (
+        "index",
+        "first_page",
+        "last_page",
+        "start_row",
+        "end_row",
+        "arrays",
+        "zones",
+        "_decoded",
+    )
+
+    def __init__(self, index, first_page, last_page, start_row, end_row):
+        self.index = index
+        self.first_page = first_page
+        self.last_page = last_page
+        self.start_row = start_row
+        self.end_row = end_row
+        self.arrays: list = []
+        self.zones: list[ZoneMap] = []
+        #: Per-column cache of decoded (value-space) arrays for dictionary
+        #: columns, filled lazily by :meth:`ColumnStore.values`.
+        self._decoded: dict[int, object] = {}
+
+    @property
+    def row_count(self) -> int:
+        return self.end_row - self.start_row
+
+    @property
+    def page_count(self) -> int:
+        return self.last_page - self.first_page
+
+
+class ColumnStore:
+    """Columnar shadow of one table at one page-group geometry.
+
+    Created (and cached) through :meth:`Table.column_store`; one store per
+    ``(batch_size, dictionary_max)`` pair, because the group geometry is
+    the batch geometry.  :meth:`sync` is idempotent and incremental.
+    """
+
+    def __init__(self, table: "Table", batch_size: int, dictionary_max: int = 256):
+        if np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError("ColumnStore requires numpy")
+        self.table = table
+        self.batch_size = batch_size
+        self.dictionary_max = dictionary_max
+        self.groups: list[ColumnGroup] = []
+        width = len(table.schema)
+        #: Per-column encoding kind: "int64" | "float64" | "dict" | "object".
+        self.encodings: list[str] = [
+            self._initial_encoding(col.dtype) for col in table.schema
+        ]
+        self.dictionaries: list[_Dictionary | None] = [
+            _Dictionary() if kind == "dict" else None for kind in self.encodings
+        ]
+        self._width = width
+        #: Bumped whenever sync rebuilds anything (observability for tests).
+        self.version = 0
+
+    @staticmethod
+    def _initial_encoding(dtype: DataType) -> str:
+        if dtype in (DataType.INTEGER, DataType.DATE):
+            return "int64"
+        if dtype is DataType.FLOAT:
+            return "float64"
+        return "dict"  # STRING starts dictionary-encoded, may overflow
+
+    # -- maintenance ----------------------------------------------------
+
+    def sync(self) -> None:
+        """Bring the store up to date with the table's rows.
+
+        Keeps the longest prefix of built groups whose page bounds *and*
+        row extent still match the current geometry (appends can only grow
+        the final, previously-partial group), rebuilds the rest.
+        """
+        table = self.table
+        bounds = page_groups(table, self.batch_size)
+        per_page = table.rows_per_page
+        nrows = table.row_count
+        keep = 0
+        for group, (first_page, last_page) in zip(self.groups, bounds):
+            end_row = min(last_page * per_page, nrows)
+            if (
+                group.first_page == first_page
+                and group.last_page == last_page
+                and group.end_row == end_row
+            ):
+                keep += 1
+            else:
+                break
+        if keep == len(self.groups) == len(bounds):
+            return  # already current
+        del self.groups[keep:]
+        for index in range(keep, len(bounds)):
+            first_page, last_page = bounds[index]
+            start_row = first_page * per_page
+            end_row = min(last_page * per_page, nrows)
+            group = ColumnGroup(index, first_page, last_page, start_row, end_row)
+            chunk = table.rows[start_row:end_row]
+            for position in range(self._width):
+                array, zone = self._encode_column(position, chunk)
+                group.arrays.append(array)
+                group.zones.append(zone)
+            self.groups.append(group)
+        self.version += 1
+
+    def reset(self) -> None:
+        """Drop everything (table truncated); next sync rebuilds from scratch."""
+        self.groups.clear()
+        self.encodings = [self._initial_encoding(col.dtype) for col in self.table.schema]
+        self.dictionaries = [
+            _Dictionary() if kind == "dict" else None for kind in self.encodings
+        ]
+        self.version += 1
+
+    # -- encoding -------------------------------------------------------
+
+    def _encode_column(self, position: int, chunk: list) -> tuple:
+        values = [row[position] for row in chunk]
+        kind = self.encodings[position]
+        while True:
+            try:
+                return self._encode_as(kind, position, values)
+            except _EncodingOverflow:
+                kind = self._demote(position)
+
+    def _encode_as(self, kind: str, position: int, values: list) -> tuple:
+        if kind == "dict":
+            return self._encode_dict(position, values)
+        zone = _zone_of(values)
+        if kind == "object":
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+            return arr, zone
+        if zone.null_count:
+            raise _EncodingOverflow  # NULL in a numeric column: go object
+        # Exact-type gate: NumPy would silently *truncate* a stray float in
+        # an int64 array (and coerce ints to floats in a float64 one), which
+        # would break the value-level parity contract.  Mistyped values send
+        # the whole column to the object encoding instead.
+        if kind == "int64":
+            # bool is an int subclass but tolist() would turn True into 1,
+            # so booleans also force the object encoding.
+            if not all(
+                isinstance(v, int) and not isinstance(v, bool) for v in values
+            ):
+                raise _EncodingOverflow
+            dtype = np.int64
+        else:
+            if not all(isinstance(v, float) for v in values):
+                raise _EncodingOverflow
+            dtype = np.float64
+        try:
+            arr = np.array(values, dtype=dtype)
+        except (OverflowError, TypeError, ValueError):
+            raise _EncodingOverflow from None
+        # int64 conversion raises on overflow and float64 stores Python
+        # floats exactly (same IEEE 754 representation), so tolist() always
+        # returns the original values.
+        return arr, zone
+
+    def _encode_dict(self, position: int, values: list) -> tuple:
+        dictionary = self.dictionaries[position]
+        encode = dictionary.encode
+        codes = np.empty(len(values), dtype=np.int32)
+        null_count = 0
+        for i, value in enumerate(values):
+            if value is None:
+                codes[i] = -1
+                null_count += 1
+            else:
+                codes[i] = encode(value)
+        if len(dictionary.values) > self.dictionary_max:
+            raise _EncodingOverflow
+        present = np.unique(codes)
+        non_null = [dictionary.values[c] for c in present.tolist() if c >= 0]
+        zone = ZoneMap(
+            min_value=min(non_null) if non_null else None,
+            max_value=max(non_null) if non_null else None,
+            null_count=null_count,
+            row_count=len(values),
+        )
+        return codes, zone
+
+    def _demote(self, position: int) -> str:
+        """Demote a column one step (dict → object, numeric → object) and
+        re-encode it in every already-built group."""
+        old = self.encodings[position]
+        dictionary = self.dictionaries[position]
+        self.encodings[position] = "object"
+        self.dictionaries[position] = None
+        for group in self.groups:
+            if old == "dict":
+                codes = group.arrays[position]
+                values = dictionary.values
+                decoded = np.empty(len(codes), dtype=object)
+                decoded[:] = [
+                    values[c] if c >= 0 else None for c in codes.tolist()
+                ]
+                group.arrays[position] = decoded
+            else:
+                arr = np.empty(group.row_count, dtype=object)
+                arr[:] = [
+                    row[position]
+                    for row in self.table.rows[group.start_row : group.end_row]
+                ]
+                group.arrays[position] = arr
+            group._decoded.pop(position, None)
+        return "object"
+
+    # -- access ---------------------------------------------------------
+
+    def values(self, group: ColumnGroup, position: int):
+        """The group's column in *value space* (decoded for dict columns).
+
+        Decoded arrays are cached on the group: repeated queries over the
+        same store pay the dictionary gather once per group per column.
+        """
+        if self.encodings[position] != "dict":
+            return group.arrays[position]
+        cached = group._decoded.get(position)
+        if cached is not None:
+            return cached
+        codes = group.arrays[position]
+        zone = group.zones[position]
+        dictionary = self.dictionaries[position]
+        if zone.null_count:
+            decoded = np.empty(len(codes), dtype=object)
+            decoded[:] = [
+                dictionary.values[c] if c >= 0 else None for c in codes.tolist()
+            ]
+        else:
+            decoded = dictionary.values_array()[codes]
+        group._decoded[position] = decoded
+        return decoded
+
+
+class _EncodingOverflow(Exception):
+    """Internal signal: the column's current encoding cannot hold a value."""
+
+
+def _zone_of(values: list) -> ZoneMap:
+    """Exact min/max/null-count of one column chunk, as Python values."""
+    null_count = 0
+    mn = mx = None
+    for value in values:
+        if value is None:
+            null_count += 1
+        elif mn is None:
+            mn = mx = value
+        elif value < mn:
+            mn = value
+        elif value > mx:
+            mx = value
+    return ZoneMap(
+        min_value=mn, max_value=mx, null_count=null_count, row_count=len(values)
+    )

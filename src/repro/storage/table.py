@@ -37,6 +37,10 @@ class Table:
         self.page_size = page_size
         self.is_temporary = is_temporary
         self.rows: list[Row] = []
+        #: Columnar shadows keyed by (batch_size, dictionary_max); built on
+        #: demand by :meth:`column_store` and kept in sync by
+        #: :meth:`append_rows` / :meth:`truncate`.
+        self._column_stores: dict = {}
         if rows is not None:
             self.append_rows(rows)
 
@@ -79,7 +83,31 @@ class Table:
                 )
             self.rows.append(tuple(row))
             added += 1
+        if added:
+            # Zone maps / column arrays are maintained on append: each
+            # attached store extends its tail groups incrementally.
+            for store in self._column_stores.values():
+                store.sync()
         return added
+
+    def column_store(self, batch_size: int, dictionary_max: int = 256):
+        """The (synced) columnar shadow of this table at one batch geometry.
+
+        Stores are cached per ``(batch_size, dictionary_max)`` — the page
+        groups *are* the serial batch-scan batches, so the geometry is part
+        of the identity.  Requires NumPy; callers gate on
+        :func:`repro.storage.columnar.numpy_available`.
+        """
+        key = (batch_size, dictionary_max)
+        store = self._column_stores.get(key)
+        if store is None:
+            from .columnar import ColumnStore
+
+            store = self._column_stores[key] = ColumnStore(
+                self, batch_size, dictionary_max
+            )
+        store.sync()
+        return store
 
     def iter_pages(self) -> Iterator[Sequence[Row]]:
         """Yield rows grouped by page, in storage order."""
@@ -90,3 +118,5 @@ class Table:
     def truncate(self) -> None:
         """Remove all rows (used by temp-table recycling)."""
         self.rows.clear()
+        for store in self._column_stores.values():
+            store.reset()

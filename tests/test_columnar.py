@@ -1,0 +1,684 @@
+"""Columnar execution: storage, zone maps, kernels, parity, integration.
+
+The contract under test (DESIGN.md section 9): ``execution_mode="columnar"``
+swaps the inside of leaf pipelines for vectorized NumPy work over per-page-
+group column arrays, with zone-map scan skipping — and under the default
+``zone_map_cost_mode="charge"`` it is byte-identical to the row and batch
+paths: result rows, simulated ``CostBreakdown``, buffer statistics and
+observed statistics, at any page-group size, including across mid-query
+plan switches.  Plus the storage layer the tentpole rides on: incremental
+``ColumnStore.sync``, dictionary overflow demotion, and zone-map soundness
+on the edge groups (all-NULL, single-row).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DataType, DynamicMode, EngineConfig
+from repro.bench import ExperimentConfig, build_database
+from repro.engine.plan_cache import PlanCache
+from repro.errors import ConfigError
+from repro.executor.dispatcher import Dispatcher
+from repro.executor.runtime import RuntimeContext
+from repro.observe.metrics import MetricsRegistry
+from repro.optimizer.cost_model import CostModel
+from repro.plans.logical import (
+    AndPredicate,
+    ColumnExpr,
+    CompareOp,
+    Comparison,
+    ConstExpr,
+    InPredicate,
+)
+from repro.stats.histogram import HistogramKind
+from repro.storage import BufferPool, CostClock, Schema, TempTableManager
+from repro.storage.columnar import ColumnStore, ZoneMap, numpy_available, page_groups
+from repro.executor.vector import compile_mask_filter
+from repro.workloads.tpcd import ALL_QUERIES
+
+from .conftest import make_two_table_db
+
+np = pytest.importorskip("numpy")
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="columnar path requires numpy"
+)
+
+
+@pytest.fixture(scope="module")
+def tpcd_db() -> Database:
+    return build_database(ExperimentConfig(scale_factor=0.01))
+
+
+def dispatch(db: Database, plan, execution_mode: str, **updates):
+    """One dispatcher run on a fresh runtime context; returns (result, ctx)."""
+    config = db.config.with_updates(execution_mode=execution_mode, **updates)
+    clock = CostClock(config.cost)
+    pool = BufferPool(config.buffer_pool_pages, clock)
+    ctx = RuntimeContext(
+        catalog=db.catalog,
+        config=config,
+        clock=clock,
+        buffer_pool=pool,
+        temp_manager=TempTableManager(db.catalog, pool),
+        cost_model=CostModel(config),
+        memory_budget_pages=config.query_memory_pages,
+    )
+    try:
+        result = Dispatcher(ctx).run(plan)
+    finally:
+        ctx.temp_manager.drop_all()
+    return result, ctx
+
+
+def assert_observed_equal(left: dict, right: dict) -> None:
+    """Collector-output equality (histograms compared by kind + buckets)."""
+    assert set(left) == set(right)
+    for node_id, a in left.items():
+        b = right[node_id]
+        assert a.row_count == b.row_count
+        assert a.row_bytes == b.row_bytes
+        assert dict(a.minmax) == dict(b.minmax)
+        assert dict(a.distincts) == dict(b.distincts)
+        assert set(a.histograms) == set(b.histograms)
+        for column, ha in a.histograms.items():
+            hb = b.histograms[column]
+            assert ha.kind == hb.kind
+            assert ha.buckets == hb.buckets
+
+
+def assert_bit_identical(left, left_ctx, right, right_ctx) -> None:
+    """The full cross-mode parity contract for one dispatched plan."""
+    assert left.rows == right.rows
+    assert left_ctx.clock.breakdown == right_ctx.clock.breakdown
+    assert left_ctx.clock.now == right_ctx.clock.now
+    assert left_ctx.buffer_pool.stats == right_ctx.buffer_pool.stats
+    assert left_ctx.switches == right_ctx.switches
+    assert left_ctx.reallocations == right_ctx.reallocations
+    assert_observed_equal(left_ctx.observed, right_ctx.observed)
+
+
+# ----------------------------------------------------------------------
+# Storage: ColumnStore geometry, sync, encodings
+# ----------------------------------------------------------------------
+
+
+def _make_table(rows, dtypes=None, batch_size=64, dictionary_max=256):
+    db = Database(EngineConfig(batch_size=batch_size))
+    width = len(rows[0]) if rows else 1
+    dtypes = dtypes or [DataType.INTEGER] * width
+    db.create_table("t", [(f"c{i}", dtypes[i]) for i in range(width)])
+    if rows:
+        db.load_rows("t", rows)
+    table = db.catalog.table("t")
+    return db, table, table.column_store(batch_size, dictionary_max)
+
+
+class TestColumnStore:
+    def test_groups_match_page_group_geometry(self):
+        __, table, store = _make_table([(i, i % 5) for i in range(1000)])
+        bounds = page_groups(table, 64)
+        assert [(g.first_page, g.last_page) for g in store.groups] == bounds
+        assert store.groups[0].start_row == 0
+        assert store.groups[-1].end_row == table.row_count
+        for prev, nxt in zip(store.groups, store.groups[1:]):
+            assert prev.end_row == nxt.start_row
+
+    def test_integer_column_round_trips_exactly(self):
+        values = [(-(2**62), 0), (2**62, 1), (17, 2)]
+        __, table, store = _make_table(values)
+        group = store.groups[0]
+        assert store.encodings[0] == "int64"
+        assert store.values(group, 0).tolist() == [v for v, __ in values]
+
+    def test_huge_integer_demotes_to_object(self):
+        __, __t, store = _make_table([(2**70, 0), (1, 1)])
+        assert store.encodings[0] == "object"
+        assert store.values(store.groups[0], 0).tolist() == [2**70, 1]
+
+    def test_bool_demotes_to_object(self):
+        # bool is an int subclass but int64 storage would turn True into 1,
+        # breaking value-level parity with the heap tuples.
+        __, __t, store = _make_table([(True, 0), (False, 1)])
+        assert store.encodings[0] == "object"
+        assert store.values(store.groups[0], 0).tolist() == [True, False]
+
+    def test_null_in_numeric_column_demotes_to_object(self):
+        __, __t, store = _make_table([(1, 0), (None, 1), (3, 2)])
+        assert store.encodings[0] == "object"
+        assert store.values(store.groups[0], 0).tolist() == [1, None, 3]
+
+    def test_string_column_dictionary_encodes(self):
+        rows = [(i, ["red", "green", "blue"][i % 3]) for i in range(300)]
+        __, __t, store = _make_table(
+            rows, dtypes=[DataType.INTEGER, DataType.STRING]
+        )
+        assert store.encodings[1] == "dict"
+        decoded = [
+            v
+            for group in store.groups
+            for v in store.values(group, 1).tolist()
+        ]
+        assert decoded == [value for __, value in rows]
+
+    def test_dictionary_overflow_demotes_and_decodes_in_place(self):
+        rows = [(i, f"v{i}") for i in range(300)]
+        __, __t, store = _make_table(
+            rows, dtypes=[DataType.INTEGER, DataType.STRING], dictionary_max=16
+        )
+        assert store.encodings[1] == "object"
+        assert store.dictionaries[1] is None
+        decoded = [
+            v
+            for group in store.groups
+            for v in store.values(group, 1).tolist()
+        ]
+        assert decoded == [value for __, value in rows]
+
+    def test_incremental_sync_keeps_full_group_prefix(self):
+        db, table, store = _make_table([(i, 0) for i in range(1000)])
+        version = store.version
+        prefix = [id(g) for g in store.groups[:-1]]
+        table.append_rows([(i, 1) for i in range(1000, 1500)])
+        assert store.version > version
+        assert [id(g) for g in store.groups[: len(prefix)]] == prefix
+        assert store.groups[-1].end_row == 1500
+        decoded = [
+            v for group in store.groups for v in store.values(group, 0).tolist()
+        ]
+        assert decoded == [row[0] for row in table.rows]
+
+    def test_sync_is_idempotent(self):
+        __, table, store = _make_table([(i, 0) for i in range(100)])
+        version = store.version
+        store.sync()
+        store.sync()
+        assert store.version == version
+
+    def test_truncate_resets_store(self):
+        __, table, store = _make_table([(2**70, 0)])
+        assert store.encodings[0] == "object"
+        table.truncate()
+        assert store.groups == []
+        assert store.encodings[0] == "int64"
+
+    def test_store_cached_per_geometry(self):
+        __, table, store = _make_table([(i, 0) for i in range(100)])
+        assert table.column_store(64) is store
+        assert table.column_store(32) is not store
+
+
+class TestZoneMaps:
+    def test_zone_maps_exact_min_max(self):
+        __, __t, store = _make_table([(i, i % 7) for i in range(1000)])
+        for group in store.groups:
+            zone = group.zones[0]
+            assert zone.min_value == group.start_row
+            assert zone.max_value == group.end_row - 1
+            assert zone.null_count == 0
+            assert zone.row_count == group.row_count
+
+    def test_all_null_group(self):
+        __, __t, store = _make_table([(None, i) for i in range(10)])
+        zone = store.groups[0].zones[0]
+        assert zone.all_null
+        assert zone.min_value is None and zone.max_value is None
+        assert zone.null_count == zone.row_count == 10
+
+    def test_single_row_groups(self):
+        # batch_size 1: every page is its own group, and a table one row
+        # past a page boundary ends in a genuine single-row group.
+        table_rows = 257  # one row past a 256-row page boundary
+        __, table, store = _make_table(
+            [(i, 0) for i in range(table_rows)], batch_size=1
+        )
+        assert len(store.groups) == table.page_count == 2
+        last = store.groups[-1]
+        assert last.row_count == 1
+        zone = last.zones[0]
+        assert zone.min_value == zone.max_value == table_rows - 1
+        assert zone.row_count == 1
+        for group in store.groups:
+            zone = group.zones[0]
+            assert zone.min_value == group.start_row
+            assert zone.max_value == group.end_row - 1
+
+    def test_maintained_across_appends(self):
+        __, table, store = _make_table([(i, 0) for i in range(100)])
+        table.append_rows([(1_000_000, 0)])
+        assert store.groups[-1].zones[0].max_value == 1_000_000
+
+
+# ----------------------------------------------------------------------
+# Mask kernels
+# ----------------------------------------------------------------------
+
+
+def _schema():
+    from .conftest import simple_schema
+
+    return simple_schema()
+
+
+class TestMaskCompiler:
+    def _resolve_for(self, columns):
+        return lambda position: np.asarray(columns[position])
+
+    def test_comparison_mask(self):
+        schema = _schema()
+        fn = compile_mask_filter(
+            [Comparison(CompareOp.LT, ColumnExpr("id"), ConstExpr(3))], schema
+        )
+        mask = fn(self._resolve_for({0: [1, 2, 3, 4]}))
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_conjunction_and_in_list(self):
+        schema = _schema()
+        fn = compile_mask_filter(
+            [
+                AndPredicate(
+                    (
+                        Comparison(CompareOp.GE, ColumnExpr("id"), ConstExpr(1)),
+                        InPredicate(ColumnExpr("id"), (2, 4)),
+                    )
+                )
+            ],
+            schema,
+        )
+        mask = fn(self._resolve_for({0: [0, 2, 3, 4]}))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_arithmetic_division_by_zero_constant_rejected(self):
+        # NumPy's x/0 yields inf+warning where Python raises; the kernel
+        # must refuse rather than diverge.
+        from repro.plans.logical import ArithExpr
+
+        schema = _schema()
+        assert (
+            compile_mask_filter(
+                [
+                    Comparison(
+                        CompareOp.EQ,
+                        ArithExpr("/", ColumnExpr("id"), ConstExpr(0)),
+                        ConstExpr(1),
+                    )
+                ],
+                schema,
+            )
+            is None
+        )
+        fn = compile_mask_filter(
+            [
+                Comparison(
+                    CompareOp.EQ,
+                    ArithExpr("/", ColumnExpr("id"), ConstExpr(2)),
+                    ConstExpr(2),
+                )
+            ],
+            schema,
+        )
+        assert fn is not None
+
+    def test_unsupported_expression_returns_none(self):
+        from repro.plans.logical import FuncExpr
+
+        schema = _schema()
+        assert (
+            compile_mask_filter(
+                [
+                    Comparison(
+                        CompareOp.EQ,
+                        FuncExpr("abs", (ColumnExpr("id"),)),
+                        ConstExpr(1),
+                    )
+                ],
+                schema,
+            )
+            is None
+        )
+
+
+# ----------------------------------------------------------------------
+# Parity: columnar vs batch vs row
+# ----------------------------------------------------------------------
+
+PARITY_QUERIES = [
+    "SELECT id, a, b FROM r1 WHERE a < 50",
+    "SELECT id FROM r1 WHERE a < 30 AND b >= 10",
+    "SELECT id, a FROM r1 WHERE id < 400 AND a <> 7",
+    "SELECT r1.id, r2.c FROM r1, r2 WHERE r1.id = r2.r1_id AND r1.a < 40",
+    "SELECT r1.a, count(*), sum(r2.c) FROM r1, r2 WHERE r1.id = r2.r1_id GROUP BY r1.a",
+    "SELECT id, a + b FROM r1 WHERE id < 200",
+    "SELECT count(*) FROM r2 WHERE r1_id < 100",
+]
+
+
+class TestColumnarParity:
+    @pytest.mark.parametrize("sql", PARITY_QUERIES)
+    def test_bit_identical_on_two_table_db(self, two_table_db, sql):
+        plan, __scia, __opt = two_table_db.plan(sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(two_table_db, plan, "batch")
+        col_result, col_ctx = dispatch(two_table_db, plan, "columnar")
+        row_result, row_ctx = dispatch(two_table_db, plan, "row")
+        assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+        assert row_result.rows == batch_result.rows
+        assert row_ctx.clock.now == batch_ctx.clock.now
+
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.name)
+    def test_bit_identical_on_tpcd(self, tpcd_db, query):
+        plan, __scia, __opt = tpcd_db.plan(query.sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(tpcd_db, plan, "batch")
+        col_result, col_ctx = dispatch(tpcd_db, plan, "columnar")
+        assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 1024])
+    def test_parity_at_any_page_group_size(self, batch_size):
+        db = Database(EngineConfig(batch_size=batch_size))
+        rows = [(i, i % 13, i % 3) for i in range(500)]
+        db.create_table(
+            "t",
+            [
+                ("k", DataType.INTEGER),
+                ("a", DataType.INTEGER),
+                ("b", DataType.INTEGER),
+            ],
+        )
+        db.load_rows("t", rows)
+        db.analyze()
+        for sql in (
+            "SELECT k, a FROM t WHERE k < 250 AND a >= 3",
+            "SELECT b, count(*) FROM t WHERE k >= 100 GROUP BY b",
+        ):
+            plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+            batch_result, batch_ctx = dispatch(db, plan, "batch")
+            col_result, col_ctx = dispatch(db, plan, "columnar")
+            assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+    def test_string_and_null_columns_hold_parity(self):
+        db = Database(EngineConfig(batch_size=32))
+        db.create_table(
+            "t",
+            [
+                ("k", DataType.INTEGER),
+                ("s", DataType.STRING),
+                ("v", DataType.INTEGER),
+            ],
+        )
+        rows = [
+            (i, ["red", "green", "blue"][i % 3], None if i % 5 == 0 else i % 40)
+            for i in range(400)
+        ]
+        db.load_rows("t", rows)  # no ANALYZE: its column stats reject NULLs
+        for sql in (
+            "SELECT k, s FROM t WHERE s = 'red' AND k < 300",
+            "SELECT s, count(*) FROM t WHERE k >= 10 GROUP BY s",
+        ):
+            plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+            batch_result, batch_ctx = dispatch(db, plan, "batch")
+            col_result, col_ctx = dispatch(db, plan, "columnar")
+            assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+    def test_switch_queries_survive_columnar(self, tpcd_db):
+        # Q5 and Q8 re-optimize mid-query at this scale; the columnar path
+        # must reproduce the switch and the final profile exactly.
+        for name in ("Q5", "Q8"):
+            query = next(q for q in ALL_QUERIES if q.name == name)
+            batch = tpcd_db.execute(
+                query.sql, mode=DynamicMode.FULL, execution_mode="batch"
+            )
+            col = tpcd_db.execute(
+                query.sql, mode=DynamicMode.FULL, execution_mode="columnar"
+            )
+            assert col.rows == batch.rows
+            assert col.profile.plan_switches == batch.profile.plan_switches
+            assert batch.profile.plan_switches >= 1
+            assert col.profile.total_cost == batch.profile.total_cost
+            assert col.profile.breakdown == batch.profile.breakdown
+
+    def test_appends_after_analyze_stay_consistent(self, two_table_db):
+        db = two_table_db
+        sql = "SELECT id, a FROM r1 WHERE id >= 1990"
+        before = db.execute(sql, execution_mode="columnar")
+        epoch = db.catalog.stats_epoch
+        db.load_rows("r1", [(i, 1, 2) for i in range(2000, 2100)])
+        assert db.catalog.stats_epoch > epoch  # plan-cache invalidation
+        after_col = db.execute(sql, execution_mode="columnar")
+        after_batch = db.execute(sql, execution_mode="batch")
+        assert len(after_col.rows) == len(before.rows) + 100
+        assert after_col.rows == after_batch.rows
+        assert after_col.profile.total_cost == after_batch.profile.total_cost
+
+
+# ----------------------------------------------------------------------
+# Zone-map skipping behaviour
+# ----------------------------------------------------------------------
+
+
+def _clustered_db(batch_size=64, rows=2000) -> Database:
+    """A table clustered on k, so k-range predicates prune page groups."""
+    db = Database(EngineConfig(batch_size=batch_size))
+    db.create_table(
+        "t", [("k", DataType.INTEGER), ("v", DataType.INTEGER)], key=["k"]
+    )
+    db.load_rows("t", [(i, i % 17) for i in range(rows)])
+    db.analyze()
+    return db
+
+
+class TestZoneMapSkipping:
+    def test_clustered_range_predicate_skips_groups(self):
+        db = _clustered_db()
+        result = db.execute(
+            "SELECT k, v FROM t WHERE k < 100", execution_mode="columnar"
+        )
+        profile = result.profile
+        assert profile.columnar_pipelines >= 1
+        assert profile.zone_map_skips > 0
+        assert profile.zone_map_pages_skipped > 0
+        assert profile.zone_map_by_scan
+        (per_scan,) = profile.zone_map_by_scan.values()
+        assert per_scan["table"] == "t"
+        assert per_scan["groups_skipped"] == profile.zone_map_skips
+        assert sorted(result.rows) == [(i, i % 17) for i in range(100)]
+
+    def test_charge_mode_is_cost_identical_to_batch(self):
+        db = _clustered_db()
+        sql = "SELECT k FROM t WHERE k >= 1900"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        col_result, col_ctx = dispatch(db, plan, "columnar")
+        assert col_ctx.columnar.groups_skipped > 0
+        assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+    def test_free_mode_charges_less_but_returns_same_rows(self):
+        db = _clustered_db()
+        sql = "SELECT k FROM t WHERE k >= 1900"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        free_result, free_ctx = dispatch(
+            db, plan, "columnar", zone_map_cost_mode="free"
+        )
+        assert free_ctx.columnar.groups_skipped > 0
+        assert free_result.rows == batch_result.rows
+        assert free_ctx.clock.now < batch_ctx.clock.now
+        assert (
+            free_ctx.buffer_pool.stats.misses + free_ctx.buffer_pool.stats.hits
+            < batch_ctx.buffer_pool.stats.misses + batch_ctx.buffer_pool.stats.hits
+        )
+
+    def test_skipping_disabled_reads_everything(self):
+        db = _clustered_db()
+        sql = "SELECT k FROM t WHERE k < 100"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        on_result, on_ctx = dispatch(db, plan, "columnar")
+        off_result, off_ctx = dispatch(db, plan, "columnar", zone_map_skipping=False)
+        assert on_ctx.columnar.groups_skipped > 0
+        assert off_ctx.columnar.groups_skipped == 0
+        assert off_result.rows == on_result.rows
+        assert off_ctx.clock.now == on_ctx.clock.now  # charge mode replays
+
+    def test_groups_with_nulls_never_skip_and_error_parity(self):
+        # A NULL comparison raises on the serial path when the row is
+        # reached; skipping a NULL-bearing group would mask that error, so
+        # such groups never skip — and the columnar path raises the same
+        # TypeError the row/batch paths raise.
+        db = Database(EngineConfig(batch_size=8))
+        db.create_table("t", [("k", DataType.INTEGER), ("v", DataType.INTEGER)])
+        db.load_rows("t", [(i if i % 8 else None, i) for i in range(2048)])
+        sql = "SELECT v FROM t WHERE k > 100000"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        with pytest.raises(TypeError):
+            dispatch(db, plan, "batch")
+        with pytest.raises(TypeError):
+            dispatch(db, plan, "columnar")
+
+    def test_conjunct_short_circuit_matches_serial(self):
+        # A row failing the first conjunct must never reach the second —
+        # here every NULL-k row is excluded by ``v < 100`` first, so the
+        # serial path completes without touching the NULLs and the
+        # columnar path must do the same (per-conjunct narrowing).
+        db = Database(EngineConfig(batch_size=8))
+        db.create_table("t", [("k", DataType.INTEGER), ("v", DataType.INTEGER)])
+        db.load_rows(
+            "t",
+            [
+                (None if i % 8 == 0 else i, 1000 if i % 8 == 0 else i % 50)
+                for i in range(2048)
+            ],
+        )
+        sql = "SELECT k FROM t WHERE v < 100 AND k > 5"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        try:
+            batch_outcome = dispatch(db, plan, "batch")
+        except TypeError:
+            batch_outcome = None  # optimizer reordered: both must raise
+        if batch_outcome is None:
+            with pytest.raises(TypeError):
+                dispatch(db, plan, "columnar")
+        else:
+            col_result, col_ctx = dispatch(db, plan, "columnar")
+            assert_bit_identical(
+                col_result, col_ctx, batch_outcome[0], batch_outcome[1]
+            )
+
+    def test_in_list_predicate_skips(self):
+        db = _clustered_db()
+        result = db.execute(
+            "SELECT v FROM t WHERE k IN (3, 5, 7)", execution_mode="columnar"
+        )
+        assert result.profile.zone_map_skips > 0
+        assert sorted(result.rows) == [(3 % 17,), (5 % 17,), (7 % 17,)]
+
+    def test_page_per_group_geometry_skips_and_matches(self):
+        # batch_size 1 degenerates every page group to a single page.
+        db = _clustered_db(batch_size=1, rows=2000)
+        plan, __scia, __opt = db.plan(
+            "SELECT k FROM t WHERE k = 25", mode=DynamicMode.FULL
+        )
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        col_result, col_ctx = dispatch(db, plan, "columnar")
+        assert col_ctx.columnar.groups_skipped > 0
+        assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+
+# ----------------------------------------------------------------------
+# Engine integration: profile, plan cache, metrics, EXPLAIN ANALYZE
+# ----------------------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_profile_fields_and_summary(self):
+        db = _clustered_db()
+        result = db.execute(
+            "SELECT k FROM t WHERE k < 100", execution_mode="columnar"
+        )
+        profile = result.profile
+        assert profile.columnar_pipelines >= 1
+        assert profile.zone_map_groups_read >= 1
+        assert "columnar: pipelines=" in profile.summary()
+        batch = db.execute("SELECT k FROM t WHERE k < 100", execution_mode="batch")
+        assert batch.profile.columnar_pipelines == 0
+        assert batch.profile.zone_map_skips == 0
+
+    def test_keyed_pipelines_feed_joins_and_aggregates(self, two_table_db):
+        result = two_table_db.execute(
+            "SELECT r1.a, count(*) FROM r1, r2 "
+            "WHERE r1.id = r2.r1_id AND r2.c < 8 GROUP BY r1.a",
+            execution_mode="columnar",
+        )
+        assert result.profile.columnar_keyed_pipelines >= 1
+
+    def test_plan_cache_isolates_modes(self, two_table_db):
+        db = two_table_db
+        sql = "SELECT id FROM r1 WHERE a < 10"
+        db.execute(sql, execution_mode="batch")
+        before = db.plan_cache.stats.snapshot()
+        db.execute(sql, execution_mode="columnar")
+        after = db.plan_cache.stats.snapshot()
+        assert after.hits == before.hits  # no cross-mode hit
+        db.execute(sql, execution_mode="columnar")
+        assert db.plan_cache.stats.hits == after.hits + 1
+
+    def test_execution_key_specializes_on_zone_toggles(self):
+        base = EngineConfig(execution_mode="columnar")
+        key = PlanCache.execution_key(base, "columnar", None)
+        assert key == "columnar/z1/charge"
+        no_skip = base.with_updates(zone_map_skipping=False)
+        free = base.with_updates(zone_map_cost_mode="free")
+        assert PlanCache.execution_key(no_skip, "columnar", None) != key
+        assert PlanCache.execution_key(free, "columnar", None) != key
+        assert PlanCache.execution_key(base, "batch", None) == "batch"
+
+    def test_metrics_counters_recorded(self):
+        registry = MetricsRegistry()
+        db = Database(
+            EngineConfig(batch_size=64, execution_mode="columnar"),
+            metrics=registry,
+        )
+        db.create_table("t", [("k", DataType.INTEGER)], key=["k"])
+        db.load_rows("t", [(i,) for i in range(2000)])
+        db.analyze()
+        db.execute("SELECT k FROM t WHERE k < 64")
+        snap = registry.snapshot()
+        assert snap["columnar.pipelines"]["value"] >= 1
+        assert snap["columnar.zone_map.groups_skipped"]["value"] >= 1
+        assert snap["columnar.zone_map.pages_skipped"]["value"] >= 1
+        assert snap["columnar.zone_map.groups_read"]["value"] >= 1
+
+    def test_explain_analyze_reports_zone_map_line(self):
+        db = _clustered_db()
+        report = db.explain_analyze(
+            "SELECT k FROM t WHERE k < 100", execution_mode="columnar"
+        )
+        rendered = report.render()
+        assert "zone maps: skipped" in rendered
+        assert "page groups" in rendered
+        scans = [
+            n
+            for plan in report.plans
+            for n in plan.nodes
+            if n.zone_map is not None
+        ]
+        assert scans and scans[0].zone_map["groups_skipped"] >= 1
+
+    def test_env_and_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTION_MODE", "columnar")
+        assert EngineConfig().execution_mode == "columnar"
+        monkeypatch.setenv("REPRO_ZONE_MAPS", "0")
+        monkeypatch.setenv("REPRO_ZONE_MAP_COST", "free")
+        config = EngineConfig()
+        assert config.zone_map_skipping is False
+        assert config.zone_map_cost_mode == "free"
+        EngineConfig(execution_mode="columnar").validate()
+        with pytest.raises(ConfigError):
+            EngineConfig(zone_map_cost_mode="cheap").validate()
+        with pytest.raises(ConfigError):
+            EngineConfig(columnar_dictionary_max=0).validate()
+        with pytest.raises(ConfigError):
+            EngineConfig(execution_mode="columns").validate()
+
+    def test_row_mode_never_builds_stores(self):
+        db = _clustered_db()
+        db.execute("SELECT k FROM t WHERE k < 10", execution_mode="row")
+        assert db.catalog.table("t")._column_stores == {}
