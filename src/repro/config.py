@@ -69,6 +69,26 @@ def _default_parallel_prefetch() -> bool:
     return _env_flag("REPRO_PARALLEL_PREFETCH")
 
 
+def _default_parallel_build() -> bool:
+    """Build-side join parallelism default (``REPRO_PARALLEL_BUILD``)."""
+    return _env_flag("REPRO_PARALLEL_BUILD")
+
+
+def _default_parallel_spill() -> bool:
+    """Partitioned result spilling default (``REPRO_PARALLEL_SPILL``)."""
+    return _env_flag("REPRO_PARALLEL_SPILL")
+
+
+def _default_parallel_sort() -> bool:
+    """Parallel run-sort default (``REPRO_PARALLEL_SORT``)."""
+    return _env_flag("REPRO_PARALLEL_SORT")
+
+
+def _default_columnar_parallel() -> bool:
+    """Columnar-morsel default (``REPRO_COLUMNAR_PARALLEL``)."""
+    return _env_flag("REPRO_COLUMNAR_PARALLEL")
+
+
 def _default_zone_maps() -> bool:
     """Zone-map scan skipping default (``REPRO_ZONE_MAPS``)."""
     return _env_flag("REPRO_ZONE_MAPS")
@@ -223,6 +243,26 @@ class EngineConfig:
     #: still merging — overlapping real unpickling work with simulated-I/O
     #: replay the way a spill reader prefetches its next partition.
     parallel_prefetch: bool = field(default_factory=_default_parallel_prefetch)
+    #: Whether hash joins build their hash table in the workers: each
+    #: partition worker folds its morsel range into per-key row lists and
+    #: the parent merges them in morsel order, so within-key row order and
+    #: first-occurrence key order match the serial insertion loop exactly.
+    parallel_build: bool = field(default_factory=_default_parallel_build)
+    #: Whether a partition worker whose staging window is exhausted spills
+    #: its morsel results to a per-partition file (keyed by the stable
+    #: range-affine partition id) instead of blocking.  Transport-level
+    #: only: simulated charges are replayed by the parent identically, so
+    #: spilling can never change costs, statistics or results.
+    parallel_spill: bool = field(default_factory=_default_parallel_spill)
+    #: Whether sorts over leaf-extractable inputs sort per-worker runs in
+    #: the morsel workers and merge them with a loser tree that breaks ties
+    #: in morsel order — byte-identical to the serial stable sort.
+    parallel_sort: bool = field(default_factory=_default_parallel_sort)
+    #: Whether ``execution_mode="columnar"`` fans the per-page-group
+    #: columnar kernels (mask narrowing, zone-map skipping, projection
+    #: takes) across the morsel worker pool when more than one worker
+    #: resolves.  Charge-mode replay in the parent keeps parity.
+    columnar_parallel: bool = field(default_factory=_default_columnar_parallel)
     #: Whether ``execution_mode="columnar"`` scans consult per-page-group
     #: zone maps (min/max/null-count) to skip groups a filter provably
     #: matches zero rows in.  Skipping never changes results; whether it
@@ -306,6 +346,10 @@ class EngineConfig:
             "parallel_joins",
             "parallel_preagg",
             "parallel_prefetch",
+            "parallel_build",
+            "parallel_spill",
+            "parallel_sort",
+            "columnar_parallel",
             "tracing",
             "zone_map_skipping",
         ):

@@ -567,8 +567,15 @@ class Database:
             parallel_rows_shipped=ctx.parallel.rows_shipped,
             parallel_rows_preaggregated=ctx.parallel.rows_preaggregated,
             parallel_prefetched_morsels=ctx.parallel.prefetched_morsels,
+            parallel_build_pipelines=ctx.parallel.build_pipelines,
+            parallel_sort_pipelines=ctx.parallel.sort_pipelines,
+            sort_runs_merged=ctx.parallel.sort_runs_merged,
+            rows_spilled=ctx.parallel.rows_spilled,
+            morsels_spilled=ctx.parallel.morsels_spilled,
+            partitions_spilled=ctx.parallel.partitions_spilled,
             columnar_pipelines=ctx.columnar.pipelines,
             columnar_keyed_pipelines=ctx.columnar.keyed_pipelines,
+            columnar_parallel_pipelines=ctx.columnar.parallel_pipelines,
             zone_map_skips=ctx.columnar.groups_skipped,
             zone_map_groups_read=ctx.columnar.groups_read,
             zone_map_pages_skipped=ctx.columnar.pages_skipped,
@@ -624,8 +631,15 @@ class Database:
         m.counter("parallel.morsels").inc(ctx.parallel.morsels)
         m.counter("parallel.rows_shipped").inc(ctx.parallel.rows_shipped)
         m.counter("parallel.rows_preaggregated").inc(ctx.parallel.rows_preaggregated)
+        m.counter("parallel.build_pipelines").inc(ctx.parallel.build_pipelines)
+        m.counter("parallel.sort_pipelines").inc(ctx.parallel.sort_pipelines)
+        m.counter("parallel.sort_runs_merged").inc(ctx.parallel.sort_runs_merged)
+        m.counter("parallel.rows_spilled").inc(ctx.parallel.rows_spilled)
+        m.counter("parallel.morsels_spilled").inc(ctx.parallel.morsels_spilled)
+        m.counter("parallel.partitions_spilled").inc(ctx.parallel.partitions_spilled)
         m.counter("columnar.pipelines").inc(ctx.columnar.pipelines)
         m.counter("columnar.keyed_pipelines").inc(ctx.columnar.keyed_pipelines)
+        m.counter("columnar.parallel_pipelines").inc(ctx.columnar.parallel_pipelines)
         m.counter("columnar.zone_map.groups_read").inc(ctx.columnar.groups_read)
         m.counter("columnar.zone_map.groups_skipped").inc(ctx.columnar.groups_skipped)
         m.counter("columnar.zone_map.pages_skipped").inc(ctx.columnar.pages_skipped)

@@ -159,18 +159,25 @@ class PlanCache:
         Plans are executor-agnostic, but compiled-kernel reuse and the
         parallel telemetry a cached entry was profiled under are not — so
         parallel entries specialize on the resolved worker count and on
-        the toggles that change *which pipelines* fan out (probe-side
-        joins, worker pre-aggregation).  Prefetch is pure scheduling and
-        deliberately excluded: it cannot change what executes.  Columnar
-        entries specialize on the zone-map toggles: skipping changes which
-        page groups execute, and the cost mode changes what a cached
-        entry's profile meant.
+        every toggle that changes *which pipelines* fan out (probe-side
+        joins, worker pre-aggregation, build-side joins, parallel sort)
+        or how results travel (partitioned spill).  Prefetch is pure
+        scheduling and deliberately excluded: it cannot change what
+        executes.  Columnar entries specialize on the zone-map toggles —
+        skipping changes which page groups execute, and the cost mode
+        changes what a cached entry's profile meant — and on the
+        columnar-morsel fan-out (plus its resolved worker count), which
+        changes which pipelines run inside forked workers.
         """
         if execution_mode == "columnar":
-            return (
+            key = (
                 f"columnar/z{int(config.zone_map_skipping)}"
                 f"/{config.zone_map_cost_mode}"
             )
+            if config.columnar_parallel:
+                resolved = workers if workers is not None else config.parallel_workers
+                return f"{key}/m1/w{resolved}"
+            return f"{key}/m0"
         if execution_mode != "parallel":
             return execution_mode
         resolved = workers if workers is not None else config.parallel_workers
@@ -178,6 +185,9 @@ class PlanCache:
             f"parallel/w{resolved}"
             f"/j{int(config.parallel_joins)}"
             f"/a{int(config.parallel_preagg)}"
+            f"/b{int(config.parallel_build)}"
+            f"/s{int(config.parallel_sort)}"
+            f"/p{int(config.parallel_spill)}"
         )
 
     def lookup(self, key: tuple, epoch: int):

@@ -104,6 +104,18 @@ class ExecutionProfile:
     parallel_rows_shipped: int = 0
     parallel_rows_preaggregated: int = 0
     parallel_prefetched_morsels: int = 0
+    #: Plan-wide parallelism telemetry: hash-join build-side pipelines,
+    #: parallel-sort pipelines and the sorted runs their loser trees
+    #: merged, plus partitioned-spill counters (rows/morsels that travelled
+    #: through per-partition spill files, and how many distinct partitions
+    #: spilled at least once).  Spill counters are transport observations:
+    #: simulated costs never depend on them.
+    parallel_build_pipelines: int = 0
+    parallel_sort_pipelines: int = 0
+    sort_runs_merged: int = 0
+    rows_spilled: int = 0
+    morsels_spilled: int = 0
+    partitions_spilled: int = 0
     pipeline_wall_s: dict[str, dict[str, float]] = field(default_factory=dict)
     #: Columnar execution telemetry (``execution_mode="columnar"``; all
     #: zero/empty otherwise).  ``zone_map_skips`` counts page groups proven
@@ -115,6 +127,9 @@ class ExecutionProfile:
     #: breaks skips down per scan (keyed by scan node id).
     columnar_pipelines: int = 0
     columnar_keyed_pipelines: int = 0
+    #: Columnar pipelines whose kernels ran inside forked morsel workers
+    #: (``columnar_parallel``).
+    columnar_parallel_pipelines: int = 0
     zone_map_skips: int = 0
     zone_map_groups_read: int = 0
     zone_map_pages_skipped: int = 0
@@ -174,18 +189,25 @@ class ExecutionProfile:
                 f"parallel: workers={self.workers} morsels={self.morsels} "
                 f"pipelines={self.parallel_pipelines} "
                 f"(join={self.parallel_join_pipelines}, "
-                f"preagg={self.parallel_preagg_pipelines}) "
+                f"preagg={self.parallel_preagg_pipelines}, "
+                f"build={self.parallel_build_pipelines}, "
+                f"sort={self.parallel_sort_pipelines}) "
                 f"rows shipped/preaggregated="
                 f"{self.parallel_rows_shipped}/{self.parallel_rows_preaggregated} "
-                f"prefetched={self.parallel_prefetched_morsels}"
+                f"prefetched={self.parallel_prefetched_morsels} "
+                f"spilled={self.rows_spilled} rows/"
+                f"{self.partitions_spilled} partitions "
+                f"sort runs merged={self.sort_runs_merged}"
             )
         if self.columnar_pipelines:
             lines.append(
                 f"columnar: pipelines={self.columnar_pipelines} "
-                f"(keyed={self.columnar_keyed_pipelines}) "
+                f"(keyed={self.columnar_keyed_pipelines}, "
+                f"parallel={self.columnar_parallel_pipelines}) "
                 f"groups read/skipped="
                 f"{self.zone_map_groups_read}/{self.zone_map_skips} "
-                f"pages skipped={self.zone_map_pages_skipped}"
+                f"pages skipped={self.zone_map_pages_skipped} "
+                f"rows skipped={self.zone_map_rows_skipped}"
             )
         for event in self.events:
             lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")

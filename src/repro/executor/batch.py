@@ -283,17 +283,28 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> BatchIterator:
     page_size = ctx.catalog.page_size
 
     # --- build phase (blocking) ---
-    hash_table: dict[object, list[Row]] = {}
-    setdefault = hash_table.setdefault
-    build_rows = 0
-    grant: int | None = None
-    responsive = ctx.config.responsive_hash_joins
-    for batch in execute_node_batches(node.build, ctx):
-        if grant is None and not responsive:
-            grant = ctx.commit_memory(node)
-        build_rows += len(batch)
-        for row in batch:
-            setdefault(build_key(row), []).append(row)
+    # A leaf-extractable build side can fan out across the morsel worker
+    # pool: workers fold partition hash tables merged in morsel order, so
+    # the merged table is observationally identical to the serial loop's.
+    built = None
+    if ctx.execution_mode == "parallel":
+        from .parallel import morsel_build_table
+
+        built = morsel_build_table(node, ctx)
+    if built is not None:
+        hash_table, build_rows, grant = built
+    else:
+        hash_table = {}
+        setdefault = hash_table.setdefault
+        build_rows = 0
+        grant = None
+        responsive = ctx.config.responsive_hash_joins
+        for batch in execute_node_batches(node.build, ctx):
+            if grant is None and not responsive:
+                grant = ctx.commit_memory(node)
+            build_rows += len(batch)
+            for row in batch:
+                setdefault(build_key(row), []).append(row)
     if grant is None:
         grant = ctx.commit_memory(node)
     build_pages = pages_for(build_rows, node.build.schema.row_bytes, page_size)
@@ -670,19 +681,30 @@ def _distinct(node: DistinctNode, ctx: RuntimeContext) -> BatchIterator:
 
 
 def _sort(node: SortNode, ctx: RuntimeContext) -> BatchIterator:
-    rows: list[Row] = []
+    # A leaf-extractable input can fan out across the morsel worker pool:
+    # workers ship sorted runs, merged by a loser tree whose morsel-order
+    # tie-break reproduces the serial stable sort byte-for-byte.
+    rows = None
     grant: int | None = None
-    for batch in execute_node_batches(node.child, ctx):
-        if grant is None:
-            grant = ctx.commit_memory(node)
-        rows.extend(batch)
+    if ctx.execution_mode == "parallel":
+        from .parallel import morsel_sort
+
+        sorted_runs = morsel_sort(node, ctx)
+        if sorted_runs is not None:
+            rows, grant = sorted_runs
+    schema = node.schema
+    if rows is None:
+        rows = []
+        for batch in execute_node_batches(node.child, ctx):
+            if grant is None:
+                grant = ctx.commit_memory(node)
+            rows.extend(batch)
+        # Stable multi-key sort: apply keys in reverse significance order.
+        for key in reversed(node.keys):
+            position = schema.index_of(key.name)
+            rows.sort(key=lambda r: r[position], reverse=not key.ascending)
     if grant is None:
         grant = ctx.commit_memory(node)
-    schema = node.schema
-    # Stable multi-key sort: apply keys in reverse significance order.
-    for key in reversed(node.keys):
-        position = schema.index_of(key.name)
-        rows.sort(key=lambda r: r[position], reverse=not key.ascending)
     page_size = ctx.catalog.page_size
     pages = pages_for(len(rows), schema.row_bytes, page_size)
     ctx.charge(ctx.cost_model.sort(len(rows), pages, grant))

@@ -47,11 +47,26 @@ Skipped groups' treatment is governed by ``EngineConfig.zone_map_cost_mode``:
 * ``"free"`` charges skipped groups nothing (no buffer access, no CPU, no
   downstream consumed-row charges), modelling storage that can actually
   avoid the I/O — simulated costs then *diverge* from the row path by
-  design, and scan/filter actual-row counts reflect only what was read.
+  design.  Completion *actuals* still include skipped rows in both modes:
+  a zone-map skip is an exact, free cardinality observation (the group
+  provably holds its row count below the first mask and zero survivors at
+  it), so SCIA verdicts and EXPLAIN ANALYZE Q-error never mistake skipped
+  rows for missing ones.
+
+With ``columnar_parallel`` on, these per-group kernels run *inside* the
+morsel workers: the range-affine scheduler from the parallel executor
+partitions the page groups (which are the batch geometry) into contiguous
+morsels, workers ship per-group batches plus zone-skip flags, and the
+parent replays each group's charges — or its skip — at merge time, in
+group order.  Determinism is inherited from both parents: the merge is the
+parallel executor's ordered merge, and the per-group work is this module's
+serial body.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -65,7 +80,19 @@ from ..plans.physical import FilterNode, PlanNode, ProjectNode, SeqScanNode
 from ..storage.columnar import ColumnGroup, ZoneMap, numpy_available
 from ..storage.table import Table
 from .collector import RuntimeCollector
-from .parallel import _extract_chain, _finalize_collector
+from .parallel import (
+    _MorselResult,
+    _WorkerState,
+    _extract_chain,
+    _finalize_collector,
+    _group_morsels,
+    _merged_results,
+    _morsel_seed,
+    _record_morsel,
+    _resolve_workers,
+    _spill_read_windows,
+    _staging_windows,
+)
 from .runtime import RuntimeContext
 from .vector import (
     compile_batch_filter,
@@ -306,6 +333,9 @@ def columnar_pipeline(
     prepared = _prepare(node, ctx)
     if prepared is None or prepared.first_mask is None:
         return None
+    parallel = _parallel_pipeline(ctx, prepared)
+    if parallel is not None:
+        return parallel
     return _strip_keys(_run_pipeline(ctx, prepared, None))
 
 
@@ -376,6 +406,30 @@ def _zone_skips(conditions: tuple, group: ColumnGroup) -> bool:
     return False
 
 
+def _mark_pipeline_completed(
+    ctx: RuntimeContext,
+    prep: _Prepared,
+    scan_rows: int,
+    stage_rows: list[int],
+    skipped_free_rows: int,
+) -> None:
+    """Completion actuals for a columnar pipeline, zone-map skips included.
+
+    ``skipped_free_rows`` were excluded from charges (free mode) but are
+    exact observations: a skipped group provably contributes its full row
+    count to the scan and to every count-preserving stage below the first
+    mask, and zero rows at the mask and above — so the actual-row counts
+    SCIA and EXPLAIN ANALYZE consume stay exact, not deflated by skipping.
+    """
+    first_mask = prep.first_mask
+    ctx.mark_completed(prep.scan, scan_rows + skipped_free_rows)
+    for position, pnode in enumerate(prep.nodes_bottom_up):
+        actual = stage_rows[position]
+        if skipped_free_rows and first_mask is not None and position < first_mask:
+            actual += skipped_free_rows
+        ctx.mark_completed(pnode, actual)
+
+
 def _run_pipeline(
     ctx: RuntimeContext, prep: _Prepared, key_positions: tuple[int, ...] | None
 ) -> Iterator[tuple[Batch, list | None]]:
@@ -429,6 +483,12 @@ def _run_pipeline(
     groups_skipped = 0
     pages_skipped = 0
     rows_skipped = 0
+    # Rows of free-mode-skipped groups: excluded from charges by design,
+    # but a zone-map skip is an exact, free cardinality observation — the
+    # group provably holds ``row_count`` scan rows and zero mask survivors
+    # — so completion actuals add these back (SCIA verdicts and EXPLAIN
+    # ANALYZE Q-error must not treat proven rows as missing).
+    skipped_free_rows = 0
     try:
         for group in store.groups:
             group_rows = group.row_count
@@ -445,6 +505,8 @@ def _run_pipeline(
                     scan_rows += group_rows
                     for position in range(first_mask):
                         stage_rows[position] += group_rows
+                else:
+                    skipped_free_rows += group_rows
                 continue
             groups_read += 1
             _replay_group_charges(ctx, table, group)
@@ -529,19 +591,329 @@ def _run_pipeline(
         per_scan = telemetry.by_scan.setdefault(
             scan.node_id,
             {"table": scan.table_name, "groups_read": 0,
-             "groups_skipped": 0, "pages_skipped": 0},
+             "groups_skipped": 0, "pages_skipped": 0, "rows_skipped": 0},
         )
         per_scan["groups_read"] += groups_read
         per_scan["groups_skipped"] += groups_skipped
         per_scan["pages_skipped"] += pages_skipped
+        per_scan["rows_skipped"] += rows_skipped
 
     # Full drain only, matching the serial collector's after-loop (not
     # ``finally``) semantics and the serial completion bookkeeping.
     if collector is not None:
         _finalize_collector(ctx, collector_node, collector)
-    ctx.mark_completed(scan, scan_rows)
-    for position, pnode in enumerate(prep.nodes_bottom_up):
-        ctx.mark_completed(pnode, stage_rows[position])
+    _mark_pipeline_completed(
+        ctx, prep, scan_rows, stage_rows, skipped_free_rows
+    )
+    if tracer is not None:
+        tracer.end(
+            span,
+            rows=stage_rows[-1] if stage_rows else scan_rows,
+            groups_skipped=groups_skipped,
+        )
+
+
+# ----------------------------------------------------------------------
+# Columnar morsels: the column kernels inside forked workers
+# ----------------------------------------------------------------------
+
+
+def _parallel_pipeline(
+    ctx: RuntimeContext, prep: _Prepared
+) -> Iterator[Batch] | None:
+    """Fan the columnar kernels across the morsel worker pool, or None.
+
+    The page groups *are* the batch geometry, so the morsel scheduler's
+    range-affine partitioning applies unchanged: workers run the per-group
+    columnar body (zone-map check, mask narrowing, materialisation,
+    fallback kernels) over contiguous group ranges and ship per-group
+    batches plus skip flags; the parent replays each group's charges — or
+    its skip, per ``zone_map_cost_mode`` — at merge time, in group order,
+    exactly like the serial columnar loop.  Stays serial (None) when the
+    knob is off, the table is too small to split, or no pool resolves.
+    """
+    config = ctx.config
+    if not config.columnar_parallel:
+        return None
+    store = prep.table.column_store(ctx.batch_size, config.columnar_dictionary_max)
+    groups = [(group.first_page, group.last_page) for group in store.groups]
+    morsels = _group_morsels(groups, config.morsel_pages)
+    if len(morsels) < config.parallel_min_morsels:
+        return None
+    workers, use_pool = _resolve_workers(ctx, len(morsels))
+    if not use_pool:
+        return None
+    return _run_parallel(ctx, prep, store, groups, morsels, workers, use_pool)
+
+
+def _compile_runner(
+    prep: _Prepared,
+    store,
+    morsels: list[tuple[int, int]],
+    config,
+    exact_stats: bool,
+    conditions: tuple,
+):
+    """The worker-side morsel executor for columnar morsels.
+
+    A closure over the synced column store (arrays reach forked workers
+    copy-on-write, like the row heap) that replicates the serial per-group
+    columnar body minus everything parent-owned: charges, telemetry and
+    skip accounting happen at merge time, so the worker only computes.
+    """
+    stages = prep.stages
+    split = prep.split
+    out_view = prep.out_view
+    identity = prep.identity
+    table_rows = prep.table.rows
+    values_of = store.values
+    store_groups = store.groups
+
+    def run(index: int) -> _MorselResult:
+        started = time.perf_counter()
+        collector: RuntimeCollector | None = None
+        for stage in stages:
+            if stage.kind == "collect":
+                collector = RuntimeCollector(
+                    stage.node,
+                    stage.node.child.schema,
+                    config,
+                    collect_reservoirs=not exact_stats,
+                    reservoir_seed=(
+                        None if exact_stats else _morsel_seed(config.seed, index)
+                    ),
+                )
+        first_group, last_group = morsels[index]
+        batches: list[Batch] = []
+        counts: list[tuple[int, ...]] = []
+        skips: list[bool] = []
+        shipped = 0
+        for group in store_groups[first_group:last_group]:
+            group_rows = group.row_count
+            if conditions and _zone_skips(conditions, group):
+                skips.append(True)
+                batches.append([])
+                counts.append((0,) * len(stages))
+                continue
+            skips.append(False)
+            group_counts = [0] * len(stages)
+            sel = None
+            survivors = group_rows
+            position = 0
+            alive = True
+            for stage in stages[:split]:
+                if stage.kind == "mask":
+                    for fn in stage.fn:
+
+                        def resolve(column, group=group, sel=sel):
+                            values = values_of(group, column)
+                            return values if sel is None else values[sel]
+
+                        mask = fn(resolve)
+                        sel = _np.nonzero(mask)[0] if sel is None else sel[mask]
+                        survivors = len(sel)
+                        if survivors == 0:
+                            break
+                group_counts[position] = survivors
+                position += 1
+                if survivors == 0:
+                    alive = False
+                    break
+            batch: Batch = []
+            if alive:
+                full = sel is None or survivors == group_rows
+                if identity:
+                    if full:
+                        batch = table_rows[group.start_row : group.end_row]
+                    else:
+                        start = group.start_row
+                        batch = [table_rows[start + i] for i in sel.tolist()]
+                else:
+                    columns = []
+                    for column in out_view:
+                        values = values_of(group, column)
+                        columns.append(
+                            values.tolist() if full else values[sel].tolist()
+                        )
+                    if len(columns) == 1:
+                        batch = [(v,) for v in columns[0]]
+                    else:
+                        batch = list(zip(*columns))
+                for stage in stages[split:]:
+                    if stage.kind == "collect":
+                        if batch:
+                            collector.observe_batch(batch)
+                    elif batch:
+                        batch = stage.fn(batch)
+                    group_counts[position] = len(batch)
+                    position += 1
+            batches.append(batch)
+            counts.append(tuple(group_counts))
+            shipped += len(batch)
+        partial = collector.export_partial() if collector is not None else None
+        return _MorselResult(
+            index=index,
+            batches=batches,
+            counts=counts,
+            partial=partial,
+            replay=None,
+            groups_out=None,
+            shipped_rows=shipped,
+            elapsed=time.perf_counter() - started,
+            pid=os.getpid(),
+            group_skips=skips,
+        )
+
+    return run
+
+
+def _run_parallel(
+    ctx: RuntimeContext,
+    prep: _Prepared,
+    store,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+    workers: int,
+    use_pool: bool,
+) -> Iterator[Batch]:
+    """The merging parent for a columnar-morsel pipeline.
+
+    Merge-time replay mirrors the serial columnar loop group by group —
+    skip accounting per ``zone_map_cost_mode`` included — so rows, charges,
+    buffer stats and observed statistics match the serial columnar path
+    (and, under ``"charge"``, the batch path) byte for byte.
+    """
+    config = ctx.config
+    exact_stats = config.parallel_stats == "exact"
+    stages = prep.stages
+    table = prep.table
+    scan = prep.scan
+    charge_skipped = config.zone_map_cost_mode == "charge"
+    conditions = prep.conditions if config.zone_map_skipping else ()
+    first_mask = prep.first_mask if conditions else None
+
+    telemetry = ctx.columnar
+    telemetry.pipelines += 1
+    telemetry.parallel_pipelines += 1
+    parallel = ctx.parallel
+    parallel.pipelines += 1
+    pipeline_id = parallel.pipelines
+    parallel.workers = max(parallel.workers, workers)
+
+    collector_node = None
+    merged: RuntimeCollector | None = None
+    for stage in stages:
+        if stage.kind == "collect":
+            collector_node = stage.node
+            merged = RuntimeCollector(
+                collector_node, collector_node.child.schema, config
+            )
+
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"columnar-pipeline-{telemetry.pipelines}",
+            "pipeline",
+            kind="columnar-parallel",
+            workers=workers,
+            morsels=len(morsels),
+            groups=len(store.groups),
+            root=(
+                prep.nodes_bottom_up[-1].label
+                if prep.nodes_bottom_up
+                else scan.label
+            ),
+        )
+
+    ctx.mark_started(scan)
+    for pnode in prep.nodes_bottom_up:
+        ctx.mark_started(pnode)
+
+    runner = _compile_runner(prep, store, morsels, config, exact_stats, conditions)
+    state = _WorkerState(
+        rows=table.rows,
+        rows_per_page=table.rows_per_page,
+        groups=groups,
+        morsels=morsels,
+        stages=[],
+        config=config,
+        exact_stats=exact_stats,
+        runner=runner,
+    )
+    windows = _staging_windows(ctx, workers, config.morsel_pages)
+    spill_windows = _spill_read_windows(ctx, workers, config.morsel_pages)
+
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    groups_read = 0
+    groups_skipped = 0
+    pages_skipped = 0
+    rows_skipped = 0
+    skipped_free_rows = 0
+    try:
+        results = _merged_results(
+            state, workers, use_pool, windows, config.parallel_prefetch, parallel,
+            spill_windows=spill_windows,
+        )
+        for result in results:
+            first_group, last_group = morsels[result.index]
+            _record_morsel(parallel, pipeline_id, result)
+            if tracer is not None:
+                tracer.morsel_merged(
+                    pipeline_id, result.index, result.pid,
+                    result.elapsed, result.shipped_rows,
+                )
+            for offset, group in enumerate(store.groups[first_group:last_group]):
+                group_rows = group.row_count
+                if result.group_skips[offset]:
+                    groups_skipped += 1
+                    pages_skipped += group.page_count
+                    rows_skipped += group_rows
+                    if charge_skipped:
+                        _replay_group_charges(ctx, table, group)
+                        scan_rows += group_rows
+                        for position in range(first_mask):
+                            stage_rows[position] += group_rows
+                    else:
+                        skipped_free_rows += group_rows
+                    continue
+                groups_read += 1
+                _replay_group_charges(ctx, table, group)
+                scan_rows += group_rows
+                for position, produced in enumerate(result.counts[offset]):
+                    stage_rows[position] += produced
+                batch = result.batches[offset]
+                if merged is not None and exact_stats:
+                    # The collector tops the chain, so the shipped batches
+                    # are its input in input order: replay the serial
+                    # sampling RNG over them directly.
+                    merged.replay_reservoirs(batch)
+                if batch:
+                    yield batch
+            if merged is not None and result.partial is not None:
+                merged.absorb_partial(result.partial)
+    finally:
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
+        telemetry.groups_read += groups_read
+        telemetry.groups_skipped += groups_skipped
+        telemetry.pages_skipped += pages_skipped
+        telemetry.rows_skipped += rows_skipped
+        per_scan = telemetry.by_scan.setdefault(
+            scan.node_id,
+            {"table": scan.table_name, "groups_read": 0,
+             "groups_skipped": 0, "pages_skipped": 0, "rows_skipped": 0},
+        )
+        per_scan["groups_read"] += groups_read
+        per_scan["groups_skipped"] += groups_skipped
+        per_scan["pages_skipped"] += pages_skipped
+        per_scan["rows_skipped"] += rows_skipped
+
+    if merged is not None:
+        _finalize_collector(ctx, collector_node, merged)
+    _mark_pipeline_completed(
+        ctx, prep, scan_rows, stage_rows, skipped_free_rows
+    )
     if tracer is not None:
         tracer.end(
             span,

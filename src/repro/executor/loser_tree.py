@@ -1,0 +1,165 @@
+"""Loser-tree merge of per-worker sorted runs, with morsel-order ties.
+
+The parallel sort (``EngineConfig.parallel_sort``) has each partition
+worker sort its own morsel's pipeline output with exactly the serial
+multi-pass stable sort, then ships the sorted *run* to the parent.  The
+parent merges the runs with the k-way tournament tree below.
+
+Why the merged output is byte-identical to the serial sort
+----------------------------------------------------------
+
+The serial sort applies one stable ``list.sort`` per key in reverse
+significance order, which is equivalent to ordering rows by the composite
+comparator ``(key_1 dir_1, key_2 dir_2, ..., original stream position)``
+— stability means every pass preserves the previous pass's order among
+equals, so the original position is the final tie-break.
+
+Each worker applies the *same* multi-pass sort to its run, so within a run
+rows are ordered by ``(keys..., position within the run)``.  Runs are the
+morsels of a range-affine assignment: concatenated in morsel order they
+*are* the serial stream, so a row's original stream position decomposes
+lexicographically into ``(run index, position within the run)``.  The
+loser tree compares heads by the composite key comparator and breaks full
+ties by **run index** (rows within one run never reorder — a run is
+consumed front to back), which therefore reproduces the serial order
+``(keys..., original position)`` exactly, duplicate keys included.
+
+NULL (``None``) key values raise ``TypeError`` on comparison against
+non-NULL values — the same error, from the same comparison, the serial
+``list.sort`` would raise; callers needing NULL-tolerant merges pass a
+``before`` comparator that totalises them (see the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: Sentinel head for an exhausted run: loses every match.
+_EXHAUSTED = object()
+
+
+def row_comparator(
+    keys: Sequence[tuple[int, bool]],
+) -> Callable[[tuple, tuple], bool]:
+    """``before(a, b)`` — strict ``a`` precedes ``b`` under the sort keys.
+
+    ``keys`` are ``(row position, ascending)`` pairs in significance order
+    (most significant first — note the serial sort *applies* them in the
+    reverse order; the comparator view and the multi-pass view coincide).
+    Returns False on full ties: tie-breaking is the tree's job.
+    """
+
+    def before(a: tuple, b: tuple) -> bool:
+        for position, ascending in keys:
+            av = a[position]
+            bv = b[position]
+            if av < bv:
+                return ascending
+            if bv < av:
+                return not ascending
+        return False
+
+    return before
+
+
+class LoserTree:
+    """K-way tournament merge over sorted runs.
+
+    Internal nodes remember the *loser* of the match played there and the
+    overall winner sits at the root, so replacing the winner's head replays
+    exactly one leaf-to-root path (``O(log k)`` comparisons per row — the
+    property that makes the classical structure preferable to rescanning
+    all heads).  ``before`` compares two rows by sort keys only; ties fall
+    through to the run index, which is morsel order.
+    """
+
+    __slots__ = ("_runs", "_pos", "_heads", "_tree", "_k", "_before")
+
+    def __init__(
+        self,
+        runs: Sequence[Sequence],
+        before: Callable[[object, object], bool],
+    ) -> None:
+        k = len(runs)
+        if k == 0:
+            raise ValueError("LoserTree needs at least one run")
+        self._runs = runs
+        self._before = before
+        self._k = k
+        self._pos = [1] * k
+        self._heads = [run[0] if run else _EXHAUSTED for run in runs]
+        # Complete binary tournament: internal nodes 1..k-1 hold losers,
+        # node children are (2n, 2n+1) and node j >= k is leaf j - k;
+        # slot 0 holds the overall winner's leaf index.
+        self._tree = [0] * k
+        if k > 1:
+            self._tree[0] = self._play(1)
+
+    def _play(self, node: int) -> int:
+        """Build one subtree's matches; returns the winning leaf index."""
+        if node >= self._k:
+            return node - self._k
+        left = self._play(2 * node)
+        right = self._play(2 * node + 1)
+        if self._beats(left, right):
+            self._tree[node] = right
+            return left
+        self._tree[node] = left
+        return right
+
+    def _beats(self, i: int, j: int) -> bool:
+        """Leaf ``i`` wins against leaf ``j`` (precedes it in the merge)."""
+        a = self._heads[i]
+        b = self._heads[j]
+        if a is _EXHAUSTED:
+            return False
+        if b is _EXHAUSTED:
+            return True
+        if self._before(a, b):
+            return True
+        if self._before(b, a):
+            return False
+        return i < j  # full key tie: earlier morsel first (stability)
+
+    def pop(self):
+        """The next row of the merged stream, or ``_EXHAUSTED`` when done."""
+        winner = self._tree[0]
+        item = self._heads[winner]
+        if item is _EXHAUSTED:
+            return _EXHAUSTED
+        run = self._runs[winner]
+        pos = self._pos[winner]
+        if pos < len(run):
+            self._heads[winner] = run[pos]
+            self._pos[winner] = pos + 1
+        else:
+            self._heads[winner] = _EXHAUSTED
+        # Replay the winner's leaf-to-root path against the stored losers.
+        current = winner
+        node = (winner + self._k) >> 1
+        while node >= 1:
+            other = self._tree[node]
+            if self._beats(other, current):
+                self._tree[node] = current
+                current = other
+            node >>= 1
+        self._tree[0] = current
+        return item
+
+
+def merge_runs(
+    runs: Sequence[Sequence],
+    before: Callable[[object, object], bool],
+) -> list:
+    """Merge sorted ``runs`` (in morsel order) into one sorted list."""
+    if not runs:
+        return []
+    if len(runs) == 1:
+        return list(runs[0])
+    tree = LoserTree(runs, before)
+    merged: list = []
+    append = merged.append
+    total = sum(len(run) for run in runs)
+    for _ in range(total):
+        append(tree.pop())
+    return merged

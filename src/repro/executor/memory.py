@@ -180,6 +180,25 @@ class MemoryManager:
         ]
 
     @staticmethod
+    def spill_windows(
+        free_pages: int, partitions: int, morsel_pages: int, cap: int
+    ) -> list[int]:
+        """Per-partition read-back budgets for spilled morsel results.
+
+        With partitioned spill on, a worker whose staging window is
+        exhausted writes results to its per-partition spill file — keyed
+        by the stable range-affine partition id — instead of blocking.
+        This arbitrates the second half of that bargain: how many spilled
+        results each partition's read-ahead may stage back into parent
+        memory beyond its staging window.  Shares come from the same
+        :meth:`split_grant` arithmetic, may be zero (spilled payloads then
+        stay on disk until the merge point reaches them), and are capped
+        at ``cap``.
+        """
+        shares = MemoryManager.split_grant(max(0, free_pages), partitions)
+        return [min(share // max(1, morsel_pages), cap) for share in shares]
+
+    @staticmethod
     def _grant_max_or_min(
         demands: Sequence[MemoryDemand], budget: int, grants: dict[int, int]
     ) -> None:

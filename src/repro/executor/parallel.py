@@ -86,6 +86,9 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import pickle
+import shutil
+import tempfile
 import threading
 import time
 import traceback
@@ -107,6 +110,7 @@ from ..plans.physical import (
     PlanNode,
     ProjectNode,
     SeqScanNode,
+    SortNode,
     StatsCollectorNode,
 )
 from ..stats.distinct import _mix64
@@ -115,6 +119,7 @@ from ..storage.schema import DataType
 from ..storage.table import Row, Table
 from .collector import CollectorPartial, RuntimeCollector
 from .iterators import _AggState, aggregate_items, hash_join_keys, key_extractor
+from .loser_tree import merge_runs, row_comparator
 from .memory import MemoryManager
 from .runtime import RuntimeContext
 from .vector import compile_batch_filter, compile_batch_projector
@@ -126,6 +131,11 @@ _MORSEL_SEED_SALT = 0x9E3779B97F4A7C15
 #: Cap on staged (completed but unmerged) morsels per worker, whatever the
 #: memory budget allows — keeps the merge point from hoarding results.
 _MAX_STAGED_PER_WORKER = 4
+
+#: Cap on *spilled* morsel results a partition's read-ahead thread may
+#: stage back in parent memory beyond its semaphore window; markers past
+#: the cap stay on disk until the merge loop reaches them.
+_MAX_SPILL_READAHEAD = 8
 
 
 @dataclass
@@ -162,6 +172,22 @@ class _ProbeTask:
 
 
 @dataclass
+class _BuildSpec:
+    """Worker-side hash-join build fold, compiled in the parent."""
+
+    get_key: Callable[[Row], object]
+
+
+@dataclass
+class _SortSpec:
+    """Worker-side run sort: ``(row position, ascending)`` pairs in
+    significance order; workers apply them with the exact serial
+    multi-pass stable sort (reverse significance order, stable passes)."""
+
+    keys: tuple[tuple[int, bool], ...]
+
+
+@dataclass
 class _WorkerState:
     """Everything a forked worker reads; inherited copy-on-write."""
 
@@ -174,10 +200,15 @@ class _WorkerState:
     exact_stats: bool
     #: ``(column, position)`` pairs whose collector-input values each morsel
     #: ships for the parent's exact-mode reservoir replay — non-empty only
-    #: when the collector's input rows are not shipped as-is (a probe stage
-    #: or pre-aggregation sits above the collector).
+    #: when the collector's input rows are not shipped as-is (a probe stage,
+    #: pre-aggregation, build fold or run sort sits above the collector).
     replay_positions: tuple[tuple[str, int], ...] = ()
     preagg: _PreAgg | None = None
+    build: _BuildSpec | None = None
+    sort: _SortSpec | None = None
+    #: Externally supplied morsel executor (the columnar-morsel path);
+    #: closures compiled in the parent reach forked workers copy-on-write.
+    runner: Callable[[int], "_MorselResult"] | None = None
 
 
 @dataclass
@@ -186,7 +217,8 @@ class _MorselResult:
 
     index: int
     #: Per page group: the pipeline's output batch (``None`` for pre-
-    #: aggregated morsels, which ship ``groups_out`` instead).
+    #: aggregated, build-folded and run-sorted morsels, which ship
+    #: ``groups_out``/``build_out``/``sort_run`` instead).
     batches: list[list[Row]] | None
     #: Per page group: per-stage output counts, for end-of-stream charges.
     counts: list[tuple[int, ...]]
@@ -200,6 +232,28 @@ class _MorselResult:
     shipped_rows: int
     elapsed: float
     pid: int
+    #: Build-fold partial: join key -> build rows, keys in first-occurrence
+    #: order and rows in scan order within the morsel.
+    build_out: dict | None = None
+    #: The morsel's pipeline output sorted by the sort keys (the run a
+    #: loser-tree merge consumes).
+    sort_run: list[Row] | None = None
+    #: Per page group: True when the columnar-morsel runner skipped the
+    #: group whole via zone maps (charges replayed by the parent).
+    group_skips: list[bool] | None = None
+    #: Set by the parent when this result came back through a partition
+    #: spill file rather than the staging window.
+    spilled: bool = False
+
+
+@dataclass
+class _SpillMarker:
+    """Shipped instead of a result when the worker spilled it to disk."""
+
+    partition_id: int
+    index: int
+    offset: int
+    length: int
 
 
 @dataclass
@@ -282,6 +336,8 @@ def _run_morsel(index: int) -> _MorselResult:
     per-stage output counts, plus the collector partial for the morsel.
     """
     state = _WORKER_STATE
+    if state.runner is not None:
+        return state.runner(index)
     started = time.perf_counter()
     rows = state.rows
     per_page = state.rows_per_page
@@ -305,8 +361,13 @@ def _run_morsel(index: int) -> _MorselResult:
         {column: [] for column, __ in replay_positions} if replay_positions else None
     )
     preagg = state.preagg
+    build = state.build
+    sort = state.sort
+    folded = preagg is not None or build is not None or sort is not None
     groups_out: dict | None = {} if preagg is not None else None
-    batches: list[list[Row]] | None = None if preagg is not None else []
+    build_out: dict | None = {} if build is not None else None
+    sort_run: list[Row] | None = [] if sort is not None else None
+    batches: list[list[Row]] | None = None if folded else []
     counts: list[tuple[int, ...]] = []
     shipped = 0
     for first_page, last_page in state.groups[first_group:last_group]:
@@ -325,9 +386,24 @@ def _run_morsel(index: int) -> _MorselResult:
         if preagg is not None:
             if out:
                 _fold_batch(groups_out, out, preagg)
+        elif build is not None:
+            if out:
+                get_key = build.get_key
+                setdefault = build_out.setdefault
+                for key, row in zip(map(get_key, out), out):
+                    setdefault(key, []).append(row)
+                shipped += len(out)
+        elif sort is not None:
+            sort_run.extend(out)
         else:
             batches.append(out)
             shipped += len(out)
+    if sort is not None:
+        # The serial sort's exact mechanics: one stable pass per key in
+        # reverse significance order (see loser_tree module docstring).
+        for position, ascending in reversed(sort.keys):
+            sort_run.sort(key=itemgetter(position), reverse=not ascending)
+        shipped = len(sort_run)
     partial = collector.export_partial() if collector is not None else None
     return _MorselResult(
         index=index,
@@ -339,6 +415,8 @@ def _run_morsel(index: int) -> _MorselResult:
         shipped_rows=shipped,
         elapsed=time.perf_counter() - started,
         pid=os.getpid(),
+        build_out=build_out,
+        sort_run=sort_run,
     )
 
 
@@ -427,6 +505,27 @@ def _staging_windows(
     staging = max(0, budget - sum(ctx.allocation.values()))
     return MemoryManager.staging_windows(
         staging, workers, morsel_pages, _MAX_STAGED_PER_WORKER
+    )
+
+
+def _spill_read_windows(
+    ctx: RuntimeContext, workers: int, morsel_pages: int
+) -> list[int] | None:
+    """Per-partition read-back budgets for spilled results, or None when
+    ``parallel_spill`` is off.
+
+    Mirrors :func:`_staging_windows` but arbitrates a second concern: how
+    many *spilled* results the read-ahead threads may stage back in parent
+    memory beyond the semaphore windows.  The split uses the same
+    :meth:`MemoryManager.split_grant` shares, so the per-partition budgets
+    carry the stable range-affine partition ids.
+    """
+    if not ctx.config.parallel_spill:
+        return None
+    budget = ctx.memory_budget_pages or ctx.config.query_memory_pages
+    staging = max(0, budget - sum(ctx.allocation.values()))
+    return MemoryManager.spill_windows(
+        staging, workers, morsel_pages, _MAX_SPILL_READAHEAD
     )
 
 
@@ -672,19 +771,37 @@ def _preagg_spec(node: HashAggregateNode) -> _PreAgg | None:
 # ----------------------------------------------------------------------
 
 
-def _partition_worker(partition_id, first, last, conn, sem) -> None:
+def _partition_worker(partition_id, first, last, conn, sem, spill_path=None) -> None:
     """One forked worker: execute a contiguous morsel range, in order.
 
     The semaphore is the staging window — the parent releases one permit
     per merged morsel, so the worker never runs more than the window ahead
-    of the merge point.  A ``None`` sentinel marks successful completion;
-    failures ship as :class:`_WorkerFailure` so the parent can raise.
+    of the merge point.  With ``spill_path`` set (``parallel_spill``), a
+    worker that finds its window exhausted does not block: it appends the
+    pickled result to its per-partition spill file — the file carries the
+    stable range-affine partition id — and ships a tiny
+    :class:`_SpillMarker` instead, so the partition keeps computing while
+    the merge point is busy replaying earlier partitions.  A ``None``
+    sentinel marks successful completion; failures ship as
+    :class:`_WorkerFailure` so the parent can raise.
     """
     _worker_init()
+    spill_file = None
+    spill_offset = 0
     try:
         for index in range(first, last):
-            sem.acquire()
-            conn.send(_run_morsel(index))
+            if sem.acquire(block=spill_path is None):
+                conn.send(_run_morsel(index))
+                continue
+            result = _run_morsel(index)
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            if spill_file is None:
+                spill_file = open(spill_path, "wb", buffering=0)
+            spill_file.write(payload)
+            conn.send(
+                _SpillMarker(partition_id, index, spill_offset, len(payload))
+            )
+            spill_offset += len(payload)
         conn.send(None)
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         try:
@@ -694,22 +811,58 @@ def _partition_worker(partition_id, first, last, conn, sem) -> None:
         except (BrokenPipeError, OSError):  # parent already gone
             pass
     finally:
+        if spill_file is not None:
+            spill_file.close()
         conn.close()
 
 
 class _Partition:
     """Parent-side handle for one range-affine partition worker."""
 
-    def __init__(self, partition_id, first, last, process, conn, sem) -> None:
+    def __init__(
+        self,
+        partition_id,
+        first,
+        last,
+        process,
+        conn,
+        sem,
+        spill_path=None,
+        stage_cap=0,
+    ) -> None:
         self.partition_id = partition_id
         self.first = first
         self.last = last
         self.process = process
         self.conn = conn
         self.sem = sem
+        self.spill_path = spill_path
+        #: Staged-item cap for the read-ahead thread: the semaphore window
+        #: plus this partition's :meth:`MemoryManager.spill_windows` share.
+        #: Markers past the cap stay unresolved (their payload stays on
+        #: disk) until the merge loop reaches them.
+        self.stage_cap = stage_cap
+        self._spill_file = None
+        self._spill_lock = threading.Lock()
         self._staged: deque = deque()
         self._cond = threading.Condition()
         self._reader: threading.Thread | None = None
+
+    def _resolve_spill(self, marker: _SpillMarker) -> _MorselResult:
+        """Read one spilled result back from this partition's file.
+
+        Serialised: the read-ahead thread (resolving under the stage cap)
+        and the merge loop (resolving a marker it popped past the cap)
+        share one seekable handle.
+        """
+        with self._spill_lock:
+            if self._spill_file is None:
+                self._spill_file = open(self.spill_path, "rb")
+            self._spill_file.seek(marker.offset)
+            payload = self._spill_file.read(marker.length)
+        result = pickle.loads(payload)
+        result.spilled = True
+        return result
 
     def start_reader(self) -> None:
         """Start the async read-ahead thread (``parallel_prefetch``).
@@ -731,7 +884,15 @@ class _Partition:
     def _read_ahead(self) -> None:
         try:
             while True:
-                item = self._recv()
+                item = self._recv(resolve=False)
+                if (
+                    isinstance(item, _SpillMarker)
+                    and len(self._staged) < self.stage_cap
+                ):
+                    # Under the spill-stage budget: pay the file read and
+                    # unpickle now, overlapping the merge loop's charge
+                    # replay the way the pipe prefetch does.
+                    item = self._resolve_spill(item)
                 with self._cond:
                     self._staged.append(item)
                     self._cond.notify()
@@ -748,17 +909,20 @@ class _Partition:
                 )
                 self._cond.notify()
 
-    def _recv(self):
+    def _recv(self, resolve=True):
         """Next item from the worker, or a failure if it died silently."""
         while True:
             ready = mp_connection.wait([self.conn, self.process.sentinel])
             if self.conn in ready:
                 try:
-                    return self.conn.recv()
+                    item = self.conn.recv()
                 except (EOFError, OSError):
                     return _WorkerFailure(
                         self.partition_id, "worker closed its pipe unexpectedly"
                     )
+                if resolve and isinstance(item, _SpillMarker):
+                    item = self._resolve_spill(item)
+                return item
             if self.conn.poll(0):  # raced: data arrived as the worker exited
                 continue
             return _WorkerFailure(
@@ -774,7 +938,11 @@ class _Partition:
             prefetched = bool(self._staged)
             while not self._staged:
                 self._cond.wait()
-            return self._staged.popleft(), prefetched
+            item = self._staged.popleft()
+        if isinstance(item, _SpillMarker):  # past the read-ahead stage cap
+            item = self._resolve_spill(item)
+            prefetched = False
+        return item, prefetched
 
     def close(self) -> None:
         """Tear the partition down, whether drained or abandoned."""
@@ -784,6 +952,8 @@ class _Partition:
             self.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        if self._spill_file is not None:
+            self._spill_file.close()
         self.process.join(timeout=5.0)
         if self._reader is not None:
             self._reader.join(timeout=5.0)
@@ -796,6 +966,7 @@ def _merged_results(
     windows: list[int],
     prefetch: bool,
     telemetry,
+    spill_windows: list[int] | None = None,
 ) -> Iterator[_MorselResult]:
     """Yield morsel results strictly in morsel order.
 
@@ -803,8 +974,13 @@ def _merged_results(
     partition workers fork (children inherit it), each worker computes its
     contiguous morsel range bounded by its semaphore window, and the parent
     consumes partitions in partition order — which is morsel order, because
-    the assignment is range-affine.  The ``finally`` tears everything down
-    even when the consumer abandons the stream mid-way.
+    the assignment is range-affine.  With ``spill_windows`` set
+    (``parallel_spill``), workers whose window is exhausted spill results
+    to per-partition files instead of blocking; spilled results are read
+    back — still strictly in morsel order — when the merge point reaches
+    them, so spilling is invisible to everything but wall-clock and the
+    spill telemetry.  The ``finally`` tears everything down even when the
+    consumer abandons the stream mid-way.
     """
     global _WORKER_STATE
     previous = _WORKER_STATE
@@ -817,23 +993,39 @@ def _merged_results(
         bounds = _partition_morsels(state.morsels, state.groups, workers)
         context = multiprocessing.get_context("fork")
         partitions: list[_Partition] = []
+        spill_dir = None
+        if spill_windows is not None:
+            spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
         try:
             for partition_id, (first, last) in enumerate(bounds):
                 sem = context.Semaphore(windows[partition_id])
                 recv_conn, send_conn = context.Pipe(duplex=False)
+                spill_path = None
+                stage_cap = 0
+                if spill_dir is not None:
+                    spill_path = os.path.join(
+                        spill_dir, f"part-{partition_id}.spill"
+                    )
+                    stage_cap = (
+                        windows[partition_id] + spill_windows[partition_id]
+                    )
                 process = context.Process(
                     target=_partition_worker,
-                    args=(partition_id, first, last, send_conn, sem),
+                    args=(partition_id, first, last, send_conn, sem, spill_path),
                     daemon=True,
                 )
                 process.start()
                 send_conn.close()
                 partitions.append(
-                    _Partition(partition_id, first, last, process, recv_conn, sem)
+                    _Partition(
+                        partition_id, first, last, process, recv_conn, sem,
+                        spill_path=spill_path, stage_cap=stage_cap,
+                    )
                 )
             if prefetch:
                 for partition in partitions:
                     partition.start_reader()
+            spilled_partitions: set[int] = set()
             for partition in partitions:
                 for __ in range(partition.first, partition.last):
                     item, prefetched = partition.next_result()
@@ -847,11 +1039,22 @@ def _merged_results(
                         )
                     if prefetched:
                         telemetry.prefetched_morsels += 1
-                    partition.sem.release()
+                    if item.spilled:
+                        # The worker never acquired a permit for a spilled
+                        # result, so no release; count it instead.
+                        telemetry.rows_spilled += item.shipped_rows
+                        telemetry.morsels_spilled += 1
+                        if partition.partition_id not in spilled_partitions:
+                            spilled_partitions.add(partition.partition_id)
+                            telemetry.partitions_spilled += 1
+                    else:
+                        partition.sem.release()
                     yield item
         finally:
             for partition in partitions:
                 partition.close()
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
     finally:
         _WORKER_STATE = previous
 
@@ -935,7 +1138,14 @@ def _finalize_collector(ctx, collector_node, merged) -> None:
 
 
 def _pipeline_setup(
-    ctx, nodes_bottom_up, morsels, probe=None, hash_table=None, preagg=False
+    ctx,
+    nodes_bottom_up,
+    morsels,
+    probe=None,
+    hash_table=None,
+    preagg=False,
+    build=False,
+    sort=False,
 ):
     """Shared pipeline preparation: stages, workers, collector, telemetry."""
     config = ctx.config
@@ -952,13 +1162,16 @@ def _pipeline_setup(
     if collector_node is not None:
         merged = RuntimeCollector(collector_node, collector_node.child.schema, config)
     # Exact-mode reservoirs replay from the shipped rows when the collector
-    # tops the pipeline; when a probe stage or pre-aggregation sits above
-    # it, the shipped rows (or group partials) are not the collector's
-    # input, so workers ship the reservoir columns' values separately.
+    # tops the pipeline; when a probe stage, pre-aggregation, build fold or
+    # run sort sits above it, the shipped rows (or partials) are not the
+    # collector's input *in input order*, so workers ship the reservoir
+    # columns' values separately.
     rows_are_collector_input = (
         collector_node is not None
         and probe is None
         and not preagg
+        and not build
+        and not sort
         and isinstance(nodes_bottom_up[-1], StatsCollectorNode)
     )
     replay_positions: tuple[tuple[str, int], ...] = ()
@@ -1054,13 +1267,15 @@ def _execute_morsels(
         replay_positions=replay_positions,
     )
     windows = _staging_windows(ctx, workers, config.morsel_pages)
+    spill_windows = _spill_read_windows(ctx, workers, config.morsel_pages)
 
     scan_rows = 0
     stage_rows = [0] * len(stages)
     drained = False
     try:
         results = _merged_results(
-            state, workers, use_pool, windows, config.parallel_prefetch, telemetry
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry,
+            spill_windows=spill_windows,
         )
         for result in results:
             first_group, last_group = morsels[result.index]
@@ -1176,6 +1391,7 @@ def _run_preagg(
         preagg=preagg,
     )
     windows = _staging_windows(ctx, workers, config.morsel_pages)
+    spill_windows = _spill_read_windows(ctx, workers, config.morsel_pages)
 
     merged_groups: dict = {}
     grant: int | None = None
@@ -1183,7 +1399,8 @@ def _run_preagg(
     stage_rows = [0] * len(stages)
     try:
         results = _merged_results(
-            state, workers, use_pool, windows, config.parallel_prefetch, telemetry
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry,
+            spill_windows=spill_windows,
         )
         for result in results:
             first_group, last_group = morsels[result.index]
@@ -1231,3 +1448,299 @@ def _run_preagg(
     if tracer is not None:
         tracer.end(span, rows=input_rows, groups=len(merged_groups))
     return merged_groups, input_rows, grant
+
+
+def morsel_build_table(
+    node: HashJoinNode, ctx: RuntimeContext
+) -> tuple[dict, int, int | None] | None:
+    """Build a hash join's table with per-worker partition folds, or None.
+
+    Each worker folds its range-affine morsel range into a partial hash
+    table (keys in first-occurrence order, rows in scan order); the parent
+    merges partials strictly in morsel order, so the merged table's key
+    insertion order and within-key row order are exactly what the serial
+    build loop's ``setdefault(...).append(...)`` would have produced.  The
+    probe phase only ever calls ``hash_table.get``, so the merged table is
+    observationally identical to the serial one — probe output, charges
+    and buffer stats follow.
+
+    Returns ``(hash_table, build_rows, grant)``; ``grant`` is None when
+    the build produced no rows or ``responsive_hash_joins`` defers the
+    commit, matching the serial loop's commit timing either way.  Returns
+    None to stay serial: knob off, a non-leaf build pipeline (like probe
+    pipelines a bare scan qualifies — the build fold is the compute
+    stage), or a table too small to split.
+    """
+    if not ctx.config.parallel_build:
+        return None
+    extracted = _extract_chain(node.build)
+    if extracted is None:
+        return None
+    chain, scan = extracted
+    located = _scan_morsels(ctx, scan)
+    if located is None:
+        return None
+    table, groups, morsels = located
+    build = _BuildSpec(get_key=hash_join_keys(node)[0])
+    return _run_build(
+        ctx, node, list(reversed(chain)), scan, table, groups, morsels, build
+    )
+
+
+def _run_build(
+    ctx: RuntimeContext,
+    node: HashJoinNode,
+    nodes_bottom_up: list[PlanNode],
+    scan: SeqScanNode,
+    table: Table,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+    build: _BuildSpec,
+) -> tuple[dict, int, int | None]:
+    """The merging parent for a hash-join build pipeline (always a full
+    drain: the build side is blocking)."""
+    config = ctx.config
+    (
+        stages,
+        collector_node,
+        merged,
+        __probe_position,
+        workers,
+        use_pool,
+        exact_stats,
+        __rows_are_input,
+        replay_positions,
+        pipeline_id,
+    ) = _pipeline_setup(ctx, nodes_bottom_up, morsels, build=True)
+    telemetry = ctx.parallel
+    telemetry.build_pipelines += 1
+
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"pipeline-{pipeline_id}",
+            "pipeline",
+            kind="build",
+            workers=workers,
+            morsels=len(morsels),
+            root=node.label,
+        )
+
+    ctx.mark_started(scan)
+    for pnode in nodes_bottom_up:
+        ctx.mark_started(pnode)
+
+    state = _WorkerState(
+        rows=table.rows,
+        rows_per_page=table.rows_per_page,
+        groups=groups,
+        morsels=morsels,
+        stages=stages,
+        config=config,
+        exact_stats=exact_stats,
+        replay_positions=replay_positions,
+        build=build,
+    )
+    windows = _staging_windows(ctx, workers, config.morsel_pages)
+    spill_windows = _spill_read_windows(ctx, workers, config.morsel_pages)
+
+    hash_table: dict = {}
+    get_bucket = hash_table.get
+    grant: int | None = None
+    responsive = config.responsive_hash_joins
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    try:
+        results = _merged_results(
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry,
+            spill_windows=spill_windows,
+        )
+        for result in results:
+            first_group, last_group = morsels[result.index]
+            _record_morsel(telemetry, pipeline_id, result)
+            if tracer is not None:
+                tracer.morsel_merged(
+                    pipeline_id, result.index, result.pid,
+                    result.elapsed, result.shipped_rows,
+                )
+            group_rows = _replay_scan_charges(
+                ctx, table, groups, first_group, last_group
+            )
+            for offset in range(last_group - first_group):
+                scan_rows += group_rows[offset]
+                for position, produced in enumerate(result.counts[offset]):
+                    stage_rows[position] += produced
+            # The serial build commits its grant on the first build batch —
+            # unless responsive hash joins defer the commit to after the
+            # loop, which the caller's commit-if-None handles.
+            pipeline_out = stage_rows[-1] if stages else scan_rows
+            if grant is None and not responsive and pipeline_out > 0:
+                grant = ctx.commit_memory(node)
+            # Morsel-order merge: first-occurrence key order and
+            # within-key row order reproduce the serial insertion loop.
+            for key, bucket in result.build_out.items():
+                mine = get_bucket(key)
+                if mine is None:
+                    hash_table[key] = bucket
+                else:
+                    mine.extend(bucket)
+            if merged is not None and result.replay is not None:
+                merged.replay_reservoir_values(result.replay)
+            if merged is not None and result.partial is not None:
+                merged.absorb_partial(result.partial)
+    finally:
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
+
+    if merged is not None:
+        _finalize_collector(ctx, collector_node, merged)
+    ctx.mark_completed(scan, scan_rows)
+    for position, pnode in enumerate(nodes_bottom_up):
+        ctx.mark_completed(pnode, stage_rows[position])
+    build_rows = stage_rows[-1] if stages else scan_rows
+    if tracer is not None:
+        tracer.end(span, rows=build_rows, keys=len(hash_table))
+    return hash_table, build_rows, grant
+
+
+def morsel_sort(
+    node: SortNode, ctx: RuntimeContext
+) -> tuple[list[Row], int | None] | None:
+    """Sort a leaf-extractable input with per-worker runs, or None.
+
+    Each worker sorts its morsel's pipeline output with the exact serial
+    multi-pass stable sort and ships the run; the parent merges the runs
+    with a loser tree that breaks full key ties by run (= morsel) index,
+    reproducing the serial stable sort's original-position tie-break (see
+    :mod:`repro.executor.loser_tree` for the argument).
+
+    Returns ``(sorted rows, grant)``; ``grant`` is None when the input was
+    empty, matching the serial commit-after-loop timing.  Returns None to
+    stay serial: knob off, a non-leaf input pipeline (the run sort is the
+    compute stage, so a bare scan qualifies), or a table too small.
+    """
+    if not ctx.config.parallel_sort:
+        return None
+    extracted = _extract_chain(node.child)
+    if extracted is None:
+        return None
+    chain, scan = extracted
+    located = _scan_morsels(ctx, scan)
+    if located is None:
+        return None
+    table, groups, morsels = located
+    schema = node.schema
+    sort = _SortSpec(
+        keys=tuple((schema.index_of(key.name), key.ascending) for key in node.keys)
+    )
+    return _run_sort(
+        ctx, node, list(reversed(chain)), scan, table, groups, morsels, sort
+    )
+
+
+def _run_sort(
+    ctx: RuntimeContext,
+    node: SortNode,
+    nodes_bottom_up: list[PlanNode],
+    scan: SeqScanNode,
+    table: Table,
+    groups: list[tuple[int, int]],
+    morsels: list[tuple[int, int]],
+    sort: _SortSpec,
+) -> tuple[list[Row], int | None]:
+    """The merging parent for a parallel-sort pipeline (always a full
+    drain: the sort is blocking)."""
+    config = ctx.config
+    (
+        stages,
+        collector_node,
+        merged,
+        __probe_position,
+        workers,
+        use_pool,
+        exact_stats,
+        __rows_are_input,
+        replay_positions,
+        pipeline_id,
+    ) = _pipeline_setup(ctx, nodes_bottom_up, morsels, sort=True)
+    telemetry = ctx.parallel
+    telemetry.sort_pipelines += 1
+
+    tracer = ctx.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.begin(
+            f"pipeline-{pipeline_id}",
+            "pipeline",
+            kind="sort",
+            workers=workers,
+            morsels=len(morsels),
+            root=node.label,
+        )
+
+    ctx.mark_started(scan)
+    for pnode in nodes_bottom_up:
+        ctx.mark_started(pnode)
+
+    state = _WorkerState(
+        rows=table.rows,
+        rows_per_page=table.rows_per_page,
+        groups=groups,
+        morsels=morsels,
+        stages=stages,
+        config=config,
+        exact_stats=exact_stats,
+        replay_positions=replay_positions,
+        sort=sort,
+    )
+    windows = _staging_windows(ctx, workers, config.morsel_pages)
+    spill_windows = _spill_read_windows(ctx, workers, config.morsel_pages)
+
+    runs: list[list[Row]] = []
+    grant: int | None = None
+    scan_rows = 0
+    stage_rows = [0] * len(stages)
+    try:
+        results = _merged_results(
+            state, workers, use_pool, windows, config.parallel_prefetch, telemetry,
+            spill_windows=spill_windows,
+        )
+        for result in results:
+            first_group, last_group = morsels[result.index]
+            _record_morsel(telemetry, pipeline_id, result)
+            if tracer is not None:
+                tracer.morsel_merged(
+                    pipeline_id, result.index, result.pid,
+                    result.elapsed, result.shipped_rows,
+                )
+            group_rows = _replay_scan_charges(
+                ctx, table, groups, first_group, last_group
+            )
+            for offset in range(last_group - first_group):
+                scan_rows += group_rows[offset]
+                for position, produced in enumerate(result.counts[offset]):
+                    stage_rows[position] += produced
+            # The serial sort commits its grant on the first input batch;
+            # pin it while merging the first morsel with pipeline output.
+            pipeline_out = stage_rows[-1] if stages else scan_rows
+            if grant is None and pipeline_out > 0:
+                grant = ctx.commit_memory(node)
+            if result.sort_run:
+                runs.append(result.sort_run)
+            if merged is not None and result.replay is not None:
+                merged.replay_reservoir_values(result.replay)
+            if merged is not None and result.partial is not None:
+                merged.absorb_partial(result.partial)
+    finally:
+        _charge_streaming_stages(ctx, stages, scan_rows, stage_rows)
+
+    if merged is not None:
+        _finalize_collector(ctx, collector_node, merged)
+    ctx.mark_completed(scan, scan_rows)
+    for position, pnode in enumerate(nodes_bottom_up):
+        ctx.mark_completed(pnode, stage_rows[position])
+    rows = merge_runs(runs, row_comparator(sort.keys))
+    telemetry.sort_runs_merged += len(runs)
+    if tracer is not None:
+        tracer.end(span, rows=len(rows), runs=len(runs))
+    return rows, grant

@@ -90,6 +90,21 @@ class ParallelExecStats:
     join_pipelines: int = 0
     #: Of those, pipelines that pre-aggregated in the workers.
     preagg_pipelines: int = 0
+    #: Of those, hash-join build-side pipelines (per-worker partition
+    #: hash tables merged in morsel order).
+    build_pipelines: int = 0
+    #: Of those, sort pipelines (per-worker sorted runs, loser-tree merge).
+    sort_pipelines: int = 0
+    #: Sorted runs consumed by loser-tree merges (one run per morsel that
+    #: produced pipeline output).
+    sort_runs_merged: int = 0
+    #: Rows that travelled through per-partition spill files because the
+    #: worker's staging window was exhausted (``parallel_spill``).
+    rows_spilled: int = 0
+    #: Morsel results spilled to per-partition files.
+    morsels_spilled: int = 0
+    #: Distinct partitions that spilled at least one result.
+    partitions_spilled: int = 0
     #: Rows shipped from workers to the merge point (pre-aggregated
     #: pipelines ship group partials instead, so their input rows are
     #: counted in :attr:`rows_preaggregated`, not here).
@@ -140,6 +155,9 @@ class ColumnarExecStats:
     pipelines: int = 0
     #: Of those, keyed pipelines feeding a hash join probe or aggregate.
     keyed_pipelines: int = 0
+    #: Of those, pipelines whose column kernels ran inside forked morsel
+    #: workers (``columnar_parallel``).
+    parallel_pipelines: int = 0
     #: Page groups whose arrays were evaluated.
     groups_read: int = 0
     #: Page groups skipped whole via zone maps.

@@ -100,7 +100,9 @@ class NodeAnalysis:
     collector: CollectorInsight | None = None
     #: For sequential scans executed on the columnar path: page groups
     #: skipped via zone maps vs. read (``{"groups_read", "groups_skipped",
-    #: "pages_skipped", "table"}``), None otherwise.
+    #: "pages_skipped", "rows_skipped", "table"}``), None otherwise.
+    #: Skipped rows are exact free observations — already included in
+    #: ``actual_rows``, so Q-error never counts them as missing.
     zone_map: dict | None = None
     #: Shown when the node never completed: a mid-query switch abandoned
     #: the plan, or a consumer (e.g. LIMIT) stopped pulling early.
@@ -145,7 +147,8 @@ class NodeAnalysis:
             rate = (skipped / total) if total else 0.0
             lines.append(
                 f"{indent}    zone maps: skipped {skipped}/{total} page groups "
-                f"({rate:.0%}, {self.zone_map.get('pages_skipped', 0)} pages)"
+                f"({rate:.0%}, {self.zone_map.get('pages_skipped', 0)} pages, "
+                f"{self.zone_map.get('rows_skipped', 0)} rows)"
             )
         if self.collector is not None:
             lines.append(f"{indent}    {self.collector.format()}")

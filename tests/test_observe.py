@@ -378,12 +378,19 @@ class TestParallelSummaryLine:
             parallel_rows_shipped=100,
             parallel_rows_preaggregated=900,
             parallel_prefetched_morsels=5,
+            parallel_build_pipelines=1,
+            parallel_sort_pipelines=1,
+            sort_runs_merged=4,
+            rows_spilled=37,
+            partitions_spilled=2,
         )
         summary = profile.summary()
         assert "parallel: workers=4 morsels=12 pipelines=3" in summary
-        assert "(join=2, preagg=1)" in summary
+        assert "(join=2, preagg=1, build=1, sort=1)" in summary
         assert "rows shipped/preaggregated=100/900" in summary
         assert "prefetched=5" in summary
+        assert "spilled=37 rows/2 partitions" in summary
+        assert "sort runs merged=4" in summary
 
     def test_serial_summary_has_no_parallel_line(self):
         assert "parallel:" not in make_profile().summary()

@@ -455,12 +455,25 @@ class TestProfileAndCache:
         assert PlanCache.execution_key(config, "batch", None) == "batch"
         assert PlanCache.execution_key(config, "row", 5) == "row"
         key = PlanCache.execution_key(config, "parallel", 3)
-        assert key == "parallel/w3/j1/a1"
+        assert key == "parallel/w3/j1/a1/b1/s1/p1"
         off = config.with_updates(parallel_joins=False, parallel_preagg=False)
-        assert PlanCache.execution_key(off, "parallel", 3) == "parallel/w3/j0/a0"
+        assert (
+            PlanCache.execution_key(off, "parallel", 3)
+            == "parallel/w3/j0/a0/b1/s1/p1"
+        )
+        plan_wide_off = config.with_updates(
+            parallel_build=False, parallel_sort=False, parallel_spill=False
+        )
+        assert (
+            PlanCache.execution_key(plan_wide_off, "parallel", 3)
+            == "parallel/w3/j1/a1/b0/s0/p0"
+        )
         # workers=None resolves from the config.
         sized = config.with_updates(parallel_workers=6)
-        assert PlanCache.execution_key(sized, "parallel", None) == "parallel/w6/j1/a1"
+        assert (
+            PlanCache.execution_key(sized, "parallel", None)
+            == "parallel/w6/j1/a1/b1/s1/p1"
+        )
 
     def test_toggle_changes_cache_key(self, tpcd_db):
         query = next(q for q in ALL_QUERIES if q.name == "Q3")

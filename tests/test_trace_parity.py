@@ -1,6 +1,6 @@
 """Trace-parity suite: tracing must never perturb the simulated engine.
 
-The observe subsystem's contract (DESIGN.md section 10): the tracer only
+The observe subsystem's contract (DESIGN.md section 11): the tracer only
 *reads* the cost clock, so result rows, the simulated ``CostBreakdown``,
 buffer-pool statistics and observed collector statistics are byte-identical
 with tracing on or off — on the row, batch and morsel-parallel paths, for
