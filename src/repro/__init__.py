@@ -27,7 +27,9 @@ from .engine.plan_cache import PlanCache, PlanCacheStats
 from .engine.prepared import PreparedStatement
 from .engine.profile import ExecutionProfile, PhaseBreakdown
 from .engine.results import QueryResult
-from .errors import ReproError
+from .engine.server import QueryServer
+from .engine.session import Session
+from .errors import AdmissionError, ReproError, SessionError
 from .observe.analyze import ExplainAnalyzeReport
 from .observe.metrics import MetricsRegistry, default_registry
 from .observe.trace import QueryTracer
@@ -37,6 +39,7 @@ from .storage.schema import Column, DataType, Schema, date_to_int, int_to_date
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "Column",
     "CostParameters",
     "DataType",
@@ -52,10 +55,13 @@ __all__ = [
     "PlanCacheStats",
     "PreparedStatement",
     "QueryResult",
+    "QueryServer",
     "QueryTracer",
     "ReoptimizationParameters",
     "ReproError",
     "Schema",
+    "Session",
+    "SessionError",
     "date_to_int",
     "default_registry",
     "int_to_date",

@@ -106,6 +106,40 @@ def _default_tracing() -> bool:
     return os.environ.get("REPRO_TRACE", "") not in ("", "0", "false", "False")
 
 
+def _default_server_mode() -> bool:
+    """Server-mode default (``REPRO_SERVER``): *off* unless enabled — when
+    on, every :meth:`Database.execute` is routed through the embedded query
+    server's admission controller and memory broker, so CI can run the whole
+    suite under concurrency governance without touching any call site."""
+    return os.environ.get("REPRO_SERVER", "") not in ("", "0", "false", "False")
+
+
+def _default_max_sessions() -> int:
+    """Concurrent-statement cap default (``REPRO_MAX_SESSIONS``)."""
+    try:
+        return int(os.environ.get("REPRO_MAX_SESSIONS", "4"))
+    except ValueError:
+        return 4
+
+
+def _default_admission_queue_size() -> int:
+    """Admission-queue bound default (``REPRO_ADMISSION_QUEUE``)."""
+    try:
+        return int(os.environ.get("REPRO_ADMISSION_QUEUE", "64"))
+    except ValueError:
+        return 64
+
+
+def _default_session_memory_policy() -> str:
+    """Broker policy default (``REPRO_SESSION_MEMORY``)."""
+    return os.environ.get("REPRO_SESSION_MEMORY", "fair")
+
+
+def _default_server_worker_mode() -> str:
+    """Statement-execution placement default (``REPRO_SERVER_WORKER_MODE``)."""
+    return os.environ.get("REPRO_SERVER_WORKER_MODE", "thread")
+
+
 @dataclass(frozen=True)
 class CostParameters:
     """Unit costs for the simulated execution clock.
@@ -287,6 +321,48 @@ class EngineConfig:
     plan_cache_enabled: bool = True
     #: Capacity of the plan cache (exact + parametric entries combined).
     plan_cache_size: int = 128
+    #: Route every :meth:`Database.execute` through the embedded query
+    #: server (admission control + memory broker) as if it arrived on a
+    #: session.  Uncontended single-threaded execution is byte-identical to
+    #: direct execution — the broker grants the full per-query budget when
+    #: nothing competes for it — so the whole test suite can run with the
+    #: server enabled.
+    server_mode: bool = field(default_factory=_default_server_mode)
+    #: Statements allowed to execute concurrently (the admission
+    #: controller's active-slot count).  Arrivals beyond this park in the
+    #: admission queue.
+    max_sessions: int = field(default_factory=_default_max_sessions)
+    #: Bound on statements parked waiting for admission; arrivals past the
+    #: bound are rejected with :class:`~repro.errors.AdmissionError`
+    #: instead of waiting (overload sheds load rather than queueing
+    #: without limit).
+    admission_queue_size: int = field(default_factory=_default_admission_queue_size)
+    #: How the global memory broker divides :attr:`server_memory_pages`
+    #: across concurrently admitted statements.  ``"fair"`` guarantees each
+    #: statement its :func:`MemoryManager.split_grant` share, grants up to
+    #: the full request from free pages, re-grants freed pages to running
+    #: statements mid-query and reclaims unpromised headroom when a new
+    #: arrival needs its guarantee; ``"static"`` always grants exactly the
+    #: share (no mid-query traffic, fully deterministic under concurrency).
+    session_memory_policy: str = field(default_factory=_default_session_memory_policy)
+    #: Total workspace pages the broker arbitrates across sessions.  0 (the
+    #: default) means ``max_sessions * query_memory_pages`` — every
+    #: statement can hold its full per-query budget simultaneously, so
+    #: concurrency alone never changes memory grants (and therefore never
+    #: changes simulated costs).  Set it lower to create real cross-query
+    #: memory pressure.
+    server_memory_pages: int = 0
+    #: Where admitted statements execute: ``"thread"`` runs them inline on
+    #: the submitting session's thread (shared memory, mid-query broker
+    #: re-grants reach the running query); ``"fork"`` runs each statement in
+    #: a forked child process (true multi-core throughput; the lease is
+    #: fixed at admission).  Falls back to ``"thread"`` with a warning where
+    #: ``fork`` is unavailable.
+    server_worker_mode: str = field(default_factory=_default_server_worker_mode)
+    #: Seconds a statement may wait for admission + memory before the
+    #: server gives up with :class:`~repro.errors.AdmissionError` (guards
+    #: tests and CI against deadlock-shaped bugs).
+    admission_timeout_s: float = 120.0
     #: Span-based query tracing (:mod:`repro.observe`).  Purely
     #: observational: the tracer reads the simulated clock but never
     #: charges it, so rows/costs/statistics are byte-identical with tracing
@@ -342,6 +418,35 @@ class EngineConfig:
                 "columnar_dictionary_max must be positive, "
                 f"got {self.columnar_dictionary_max}"
             )
+        if self.max_sessions <= 0:
+            raise ConfigError(
+                f"max_sessions must be positive, got {self.max_sessions}"
+            )
+        if self.admission_queue_size < 0:
+            raise ConfigError(
+                "admission_queue_size must be non-negative, "
+                f"got {self.admission_queue_size}"
+            )
+        if self.session_memory_policy not in ("fair", "static"):
+            raise ConfigError(
+                "session_memory_policy must be 'fair' or 'static', "
+                f"got {self.session_memory_policy!r}"
+            )
+        if self.server_memory_pages < 0:
+            raise ConfigError(
+                "server_memory_pages must be non-negative, "
+                f"got {self.server_memory_pages}"
+            )
+        if self.server_worker_mode not in ("thread", "fork"):
+            raise ConfigError(
+                "server_worker_mode must be 'thread' or 'fork', "
+                f"got {self.server_worker_mode!r}"
+            )
+        if self.admission_timeout_s <= 0:
+            raise ConfigError(
+                "admission_timeout_s must be positive, "
+                f"got {self.admission_timeout_s}"
+            )
         for flag in (
             "parallel_joins",
             "parallel_preagg",
@@ -352,6 +457,7 @@ class EngineConfig:
             "columnar_parallel",
             "tracing",
             "zone_map_skipping",
+            "server_mode",
         ):
             if not isinstance(getattr(self, flag), bool):
                 raise ConfigError(
@@ -361,6 +467,13 @@ class EngineConfig:
             raise ConfigError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"
             )
+
+    @property
+    def resolved_server_memory_pages(self) -> int:
+        """The broker's total pool: explicit, or one full budget per slot."""
+        if self.server_memory_pages:
+            return self.server_memory_pages
+        return self.max_sessions * self.query_memory_pages
 
     def with_updates(self, **changes: Any) -> "EngineConfig":
         """Return a copy of this configuration with ``changes`` applied."""

@@ -1,17 +1,30 @@
-"""Engine facade: the public Database API."""
+"""Engine facade: the public Database API and the concurrent query server."""
 
 from .database import Database
 from .plan_cache import PlanCache, PlanCacheStats
 from .prepared import PreparedStatement
 from .profile import ExecutionProfile, PhaseBreakdown
 from .results import QueryResult
+from .server import (
+    AdmissionController,
+    GlobalMemoryBroker,
+    QueryServer,
+    SessionLease,
+)
+from .session import Session, SessionCatalog
 
 __all__ = [
+    "AdmissionController",
     "Database",
     "ExecutionProfile",
+    "GlobalMemoryBroker",
     "PhaseBreakdown",
     "PlanCache",
     "PlanCacheStats",
     "PreparedStatement",
     "QueryResult",
+    "QueryServer",
+    "Session",
+    "SessionCatalog",
+    "SessionLease",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
+from ..concurrency import fork_safe_lock
 from ..config import EngineConfig
 from ..core.modes import DynamicMode
 from ..core.parametric import (
@@ -110,8 +111,19 @@ class Database:
         self.metrics = metrics if metrics is not None else default_registry()
         self.plan_cache = PlanCache(self.config.plan_cache_size, metrics=self.metrics)
         self._udfs: dict[str, Callable] = {}
+        self._server = None
+        self._server_lock = fork_safe_lock(self, "_server_lock")
 
     # -- DDL / loading ------------------------------------------------------
+
+    @staticmethod
+    def _schema_from_columns(columns: Sequence[ColumnSpec] | Schema) -> Schema:
+        """Normalize column specs (shared with session temp-table DDL)."""
+        if isinstance(columns, Schema):
+            return columns
+        return Schema(
+            c if isinstance(c, Column) else Column(c[0], c[1]) for c in columns
+        )
 
     def create_table(
         self,
@@ -120,12 +132,7 @@ class Database:
         key: Sequence[str] = (),
     ) -> Table:
         """Create an empty table."""
-        if isinstance(columns, Schema):
-            schema = columns
-        else:
-            schema = Schema(
-                c if isinstance(c, Column) else Column(c[0], c[1]) for c in columns
-            )
+        schema = self._schema_from_columns(columns)
         return self.catalog.create_table(name, schema, key_columns=key)
 
     def load_rows(self, table_name: str, rows: Iterable[Row]) -> int:
@@ -178,6 +185,27 @@ class Database:
         """Parse and bind a SQL statement without executing it."""
         return bind(parse(sql), self.catalog, udfs=self._udfs, params=params)
 
+    @property
+    def server(self):
+        """The engine's :class:`~repro.engine.server.QueryServer`, created
+        lazily (admission controller + memory broker are built from the
+        current configuration on first use)."""
+        if self._server is None:
+            with self._server_lock:
+                if self._server is None:
+                    from .server import QueryServer
+
+                    self._server = QueryServer(self)
+        return self._server
+
+    def create_session(self, name: str | None = None):
+        """Open a concurrent-server session (own temp-table namespace,
+        session-scoped prepared statements and plan-cache entries).  Works
+        with or without :attr:`EngineConfig.server_mode`; the flag only
+        controls whether plain :meth:`execute` calls also route through the
+        server."""
+        return self.server.session(name)
+
     def prepare(self, sql: str) -> PreparedStatement:
         """Prepare a statement for repeated execution.
 
@@ -198,6 +226,8 @@ class Database:
         workers: int | None = None,
         parametric: bool = False,
         use_cache: bool = True,
+        catalog: Catalog | None = None,
+        cache_scope: str = "",
     ) -> PreparedExecution:
         """The single preparation path: parse, bind, optimize, SCIA — cached.
 
@@ -206,19 +236,36 @@ class Database:
         phase from scratch without touching the cache, which is what
         :meth:`plan` defaults to so timing-sensitive callers (the optimizer
         calibration procedure) always observe cold optimization.
+
+        ``catalog`` overrides the shared catalog with a session's overlay
+        (:class:`~repro.engine.session.SessionCatalog`); ``cache_scope`` is
+        that session's plan-cache scope.  Statements that reference a
+        session-local table are cached under the scope (and the overlay's
+        combined epoch) so one session's temp-table plan is never served to
+        another; statements over shared tables keep the global scope and
+        stay shared across sessions.
         """
+        cat = catalog if catalog is not None else self.catalog
         phases: dict[str, float] = {}
         t0 = perf_counter()
         if ast is None:
             ast = parse(sql)
         t1 = perf_counter()
         phases["parse"] = t1 - t0
-        query = bind(ast, self.catalog, udfs=self._udfs, params=params)
+        query = bind(ast, cat, udfs=self._udfs, params=params)
         t2 = perf_counter()
         phases["bind"] = t2 - t1
 
         use_cache = use_cache and self.config.plan_cache_enabled
-        epoch = self.catalog.stats_epoch
+        epoch = cat.stats_epoch
+        scope = ""
+        if cache_scope:
+            has_local = getattr(cat, "has_local", None)
+            if has_local is not None and any(
+                has_local(rel.table_name) for rel in query.relations
+            ):
+                scope = cache_scope
+                epoch = cat.scoped_epoch
         exec_mode = execution_mode or self.config.execution_mode
         # A plan prepared for parallel pipelines is specialized to its
         # worker count and fan-out toggles (morsel assignment, staging
@@ -228,18 +275,22 @@ class Database:
 
         if parametric and has_parameter_predicates(query):
             return self._prepare_parametric(
-                query, params, mode, epoch, use_cache, phases
+                query, params, mode, epoch, use_cache, phases, cat, scope
             )
 
         key = None
         entry: CachedPlan | None = None
         if use_cache:
             key = PlanCache.exact_key(
-                deparse(query), parameter_signature(params), mode.value, exec_mode_key
+                deparse(query),
+                parameter_signature(params),
+                mode.value,
+                exec_mode_key,
+                scope=scope,
             )
             entry = self.plan_cache.lookup(key, epoch)
 
-        optimizer = Optimizer(self.catalog, self.config, estimator=self.estimator)
+        optimizer = Optimizer(cat, self.config, estimator=self.estimator)
         if entry is not None:
             plan = clone_plan(entry.plan)
             scia_result = entry.scia
@@ -262,7 +313,7 @@ class Database:
         phases["optimize"] = t3 - t2
         scia_result: SciaResult | None = None
         if mode.collects_statistics:
-            scia_result = insert_collectors(plan, self.catalog, self.config)
+            scia_result = insert_collectors(plan, cat, self.config)
             optimizer.annotator().annotate(plan)
         phases["scia"] = perf_counter() - t3
         if use_cache and key is not None:
@@ -284,9 +335,11 @@ class Database:
         query: LogicalQuery,
         params: Mapping[str, object] | None,
         mode: DynamicMode,
-        epoch: int,
+        epoch,
         use_cache: bool,
         phases: dict[str, float],
+        catalog: Catalog | None = None,
+        scope: str = "",
     ) -> PreparedExecution:
         """Parametric (section 4 hybrid) preparation with scenario-set reuse.
 
@@ -296,36 +349,39 @@ class Database:
         and shared by every binding; per execution only the cheap
         ``choose_plan`` selection, value plugging and annotation remain.
         """
+        cat = catalog if catalog is not None else self.catalog
         t2 = perf_counter()
         key = None
         cache_hit = False
         scenarios = None
         if use_cache:
-            key = PlanCache.parametric_key(deparse(mask_parameters(query)))
+            key = PlanCache.parametric_key(
+                deparse(mask_parameters(query)), scope=scope
+            )
             entry = self.plan_cache.lookup(key, epoch)
             if entry is not None:
                 scenarios = entry.parametric
                 cache_hit = True
         if scenarios is None:
-            scenarios = ParametricOptimizer(self.catalog, self.config).optimize(query)
+            scenarios = ParametricOptimizer(cat, self.config).optimize(query)
             if use_cache and key is not None:
                 self.plan_cache.store(
                     key, CachedScenarios(parametric=scenarios, epoch=epoch)
                 )
         # The run-time decision step: pick the anticipated case closest to
         # the estimated selectivity of the *current* parameter values.
-        scenario, actual = choose_plan(scenarios, self.catalog, query=query)
+        scenario, actual = choose_plan(scenarios, cat, query=query)
         plan = plug_parameters(scenario.plan, params or {})
         # Execution-time estimates use the now-known parameter values.
         estimator = Estimator(use_parameter_values=True)
-        optimizer = Optimizer(self.catalog, self.config, estimator=estimator)
+        optimizer = Optimizer(cat, self.config, estimator=estimator)
         optimizer.invocations += 1
         optimizer.annotator().annotate(plan)
         t3 = perf_counter()
         phases["optimize"] = t3 - t2
         scia_result: SciaResult | None = None
         if mode.collects_statistics:
-            scia_result = insert_collectors(plan, self.catalog, self.config)
+            scia_result = insert_collectors(plan, cat, self.config)
         phases["scia"] = perf_counter() - t3
         return PreparedExecution(
             query=query,
@@ -403,7 +459,24 @@ class Database:
         optimization — so only wall-clock latency changes; see
         :attr:`ExecutionProfile.phases` and
         :attr:`ExecutionProfile.plan_cache_hit`.
+
+        With :attr:`EngineConfig.server_mode` on, the statement routes
+        through the concurrent query server — admission control and the
+        cross-query memory broker — on an ad-hoc basis (results are
+        byte-identical; profiles gain the server telemetry fields).  Use
+        :meth:`create_session` for session-scoped temp tables and
+        prepared handles.
         """
+        if self.config.server_mode:
+            return self.server.execute(
+                sql,
+                params=params,
+                mode=mode,
+                memory_budget_pages=memory_budget_pages,
+                parametric=parametric,
+                execution_mode=execution_mode,
+                workers=workers,
+            )
         prepared = self._prepare(
             sql,
             params=params,
@@ -428,6 +501,18 @@ class Database:
         workers: int | None = None,
     ) -> QueryResult:
         """Execution entry point for :class:`PreparedStatement`."""
+        if self.config.server_mode:
+            return self.server._execute(
+                session=None,
+                sql=sql,
+                ast=ast,
+                params=params,
+                mode=mode,
+                memory_budget_pages=memory_budget_pages,
+                parametric=parametric,
+                execution_mode=execution_mode,
+                workers=workers,
+            )
         prepared = self._prepare(
             sql,
             ast=ast,
@@ -450,13 +535,27 @@ class Database:
         execution_mode: str | None = None,
         workers: int | None = None,
         analysis_sink: dict | None = None,
+        catalog: Catalog | None = None,
+        lease=None,
+        session_label: str = "",
+        admission_wait_s: float = 0.0,
+        admission_queue_depth: int = 0,
+        executed_via: str = "inline",
     ) -> QueryResult:
         """Run a prepared execution through the dynamic-re-optimization loop.
 
         ``analysis_sink`` (EXPLAIN ANALYZE) forces a tracer for this run and
         receives the built :class:`~repro.observe.analyze.ExplainAnalyzeReport`
         under ``"report"``.
+
+        The server path passes ``catalog`` (the session's overlay — temp
+        tables the re-optimizer materializes land there), a broker
+        ``lease`` whose granted pages replace the default memory budget and
+        whose mid-query re-grants reach this execution's
+        :class:`MemoryManager` via :meth:`SessionLease.attach`, and the
+        admission telemetry recorded on the profile.
         """
+        cat = catalog if catalog is not None else self.catalog
         query = prepared.query
         plan = prepared.plan
         optimizer = prepared.optimizer
@@ -477,17 +576,25 @@ class Database:
             tracer = QueryTracer(clock, label=sql)
             tracer.record_compile_phases(prepared.phase_seconds)
         buffer_pool = BufferPool(self.config.buffer_pool_pages, clock)
-        temp_manager = TempTableManager(self.catalog, buffer_pool)
+        temp_manager = TempTableManager(cat, buffer_pool)
         cost_model = CostModel(self.config)
         # One calibrated optimization is charged whether the plan came from
         # the optimizer or the cache: the simulated timeline models a system
         # that optimized this query once, keeping profiles deterministic.
         clock.charge_optimizer(self.calibration.estimated_units(len(query.relations)))
 
-        budget = memory_budget_pages or self.config.query_memory_pages
+        if lease is not None:
+            budget = lease.granted_pages
+        else:
+            budget = memory_budget_pages or self.config.query_memory_pages
         memory_manager = MemoryManager(budget)
+        if lease is not None:
+            # Broker re-grants/reclaims now flow into this manager; they
+            # take effect at the next dynamic re-allocation.
+            lease.attach(memory_manager)
+            budget = memory_manager.budget_pages
         ctx = RuntimeContext(
-            catalog=self.catalog,
+            catalog=cat,
             config=run_config,
             clock=clock,
             buffer_pool=buffer_pool,
@@ -593,6 +700,18 @@ class Database:
                     ctx.parallel.pipeline_worker_seconds.items()
                 )
             },
+            session=session_label,
+            executed_via=executed_via,
+            admission_wait_s=admission_wait_s,
+            queue_depth_at_admission=admission_queue_depth,
+            memory_requested_pages=(
+                lease.requested_pages if lease is not None else budget
+            ),
+            memory_granted_pages=(
+                lease.granted_pages if lease is not None else budget
+            ),
+            broker_regrants=lease.regrants if lease is not None else 0,
+            broker_reclaims=lease.reclaims if lease is not None else 0,
             events=list(controller.events) if controller else [],
             plan_explanations=[explain_plan(p) for p in outcome.plan_history],
             remainder_sqls=[

@@ -41,6 +41,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
+from ..concurrency import fork_safe_lock
 from ..core.scia import SciaResult
 from ..plans.logical import LogicalQuery
 from ..plans.physical import PlanNode
@@ -115,7 +116,15 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """LRU map of prepared-query entries with statistics-epoch invalidation."""
+    """LRU map of prepared-query entries with statistics-epoch invalidation.
+
+    The cache is shared by every session of a concurrent server, so lookup,
+    store and clear serialize on one re-entrant lock: the LRU ``OrderedDict``
+    and the stat counters are mutated under it, and the epoch check inside
+    :meth:`lookup` is atomic with the entry fetch — a concurrent stats-epoch
+    bump can race the *caller* (which re-checks the epoch it passed in), but
+    can never corrupt LRU order or hand back a half-evicted entry.
+    """
 
     def __init__(
         self,
@@ -126,16 +135,19 @@ class PlanCache:
         self._entries: "OrderedDict[tuple, CachedPlan | CachedScenarios]" = OrderedDict()
         self.stats = PlanCacheStats()
         self._metrics = metrics
+        self._lock = fork_safe_lock(self, "_lock")
 
     def _bump(self, name: str, amount: int = 1) -> None:
         if self._metrics is not None:
             self._metrics.counter(f"plan_cache.{name}").inc(amount)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @staticmethod
     def exact_key(
@@ -143,14 +155,30 @@ class PlanCache:
         param_signature: tuple,
         mode_value: str,
         execution_mode: str,
+        scope: str = "",
     ) -> tuple:
-        """Key for a fully bound statement."""
-        return ("exact", normalized_sql, param_signature, mode_value, execution_mode)
+        """Key for a fully bound statement.
+
+        ``scope`` is the session scope: statements that touch session-local
+        tables (temp tables created through a :class:`~repro.engine.session
+        .Session`) are keyed under that session's id so one session's plan —
+        whose bound schema and statistics describe *its* temp table — is
+        never served to another session with a same-named table.  Global
+        statements use the empty scope and share entries across sessions.
+        """
+        return (
+            "exact",
+            scope,
+            normalized_sql,
+            param_signature,
+            mode_value,
+            execution_mode,
+        )
 
     @staticmethod
-    def parametric_key(masked_sql: str) -> tuple:
+    def parametric_key(masked_sql: str, scope: str = "") -> tuple:
         """Key for a parametric scenario set (mode/value independent)."""
-        return ("parametric", masked_sql)
+        return ("parametric", scope, masked_sql)
 
     @staticmethod
     def execution_key(config, execution_mode: str, workers: int | None) -> str:
@@ -197,35 +225,50 @@ class PlanCache:
         counted as invalidations (as well as misses); a hit refreshes the
         entry's LRU position.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            self._bump("misses")
-            return None
-        if entry.epoch != epoch:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            self._bump("invalidations")
-            self._bump("misses")
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        self._bump("hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self._bump("misses")
+                return None
+            if entry.epoch != epoch:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                self._bump("invalidations")
+                self._bump("misses")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self._bump("hits")
+            return entry
 
     def store(self, key: tuple, entry: "CachedPlan | CachedScenarios") -> None:
         """Insert (or replace) an entry, evicting the LRU tail if needed."""
-        if key in self._entries:
-            del self._entries[key]
-        self._entries[key] = entry
-        self.stats.stores += 1
-        self._bump("stores")
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            self._bump("evictions")
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = entry
+            self.stats.stores += 1
+            self._bump("stores")
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                self._bump("evictions")
+
+    def drop_scope(self, scope: str) -> int:
+        """Drop every entry keyed under ``scope``; returns the count dropped.
+
+        Called when a session closes so its temp-table plans do not linger
+        in the LRU (they can never hit again — the scope id is unique).
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[1] == scope]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -135,6 +135,26 @@ class ExecutionProfile:
     zone_map_pages_skipped: int = 0
     zone_map_rows_skipped: int = 0
     zone_map_by_scan: dict[int, dict] = field(default_factory=dict)
+    #: Concurrent-server telemetry (label fields empty and wait/broker
+    #: counters zero for inline executions; the memory fields always record
+    #: the budget the query actually ran under).
+    #: ``session`` is the owning session's label, ``executed_via`` how the
+    #: statement ran (``"inline"``, ``"thread"`` or ``"fork"``),
+    #: ``admission_wait_s`` how long admission control parked it and
+    #: ``queue_depth_at_admission`` how many statements were waiting when it
+    #: arrived.  ``memory_requested_pages``/``memory_granted_pages`` record
+    #: the broker lease, and ``broker_regrants``/``broker_reclaims`` how
+    #: many times the broker grew or shrank that lease mid-query — each
+    #: re-grant is exactly the cross-query pressure the paper's memory
+    #: re-allocation trigger (section 2.3) responds to.
+    session: str = ""
+    executed_via: str = "inline"
+    admission_wait_s: float = 0.0
+    queue_depth_at_admission: int = 0
+    memory_requested_pages: int = 0
+    memory_granted_pages: int = 0
+    broker_regrants: int = 0
+    broker_reclaims: int = 0
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
@@ -208,6 +228,15 @@ class ExecutionProfile:
                 f"{self.zone_map_groups_read}/{self.zone_map_skips} "
                 f"pages skipped={self.zone_map_pages_skipped} "
                 f"rows skipped={self.zone_map_rows_skipped}"
+            )
+        if self.session or self.executed_via != "inline":
+            lines.append(
+                f"server: session={self.session or '-'} via={self.executed_via} "
+                f"admission wait={self.admission_wait_s * 1e3:.2f}ms "
+                f"queue depth={self.queue_depth_at_admission} "
+                f"memory granted/requested="
+                f"{self.memory_granted_pages}/{self.memory_requested_pages} "
+                f"regrants={self.broker_regrants} reclaims={self.broker_reclaims}"
             )
         for event in self.events:
             lines.append(f"  event: {event.action} at t={event.clock_time:.1f} {event.detail}")

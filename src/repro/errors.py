@@ -53,6 +53,17 @@ class MemoryGrantError(ExecutionError):
     """Raised when the memory manager cannot satisfy minimum operator demands."""
 
 
+class AdmissionError(ExecutionError):
+    """Raised when the query server cannot admit a statement: the bounded
+    admission queue is full, the wait timed out, or the memory broker can
+    never satisfy the request."""
+
+
+class SessionError(ReproError):
+    """Raised for session misuse (closed sessions, concurrent statements on
+    one session, duplicate session-local table names)."""
+
+
 class StatisticsError(ReproError):
     """Raised by the statistics substrate (histograms, sketches, estimators)."""
 

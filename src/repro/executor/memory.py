@@ -78,12 +78,38 @@ def memory_demands(plan: PlanNode) -> list[MemoryDemand]:
 
 
 class MemoryManager:
-    """Allocates the per-query memory budget across operators."""
+    """Allocates the per-query memory budget across operators.
+
+    The budget is *adjustable*: the cross-session memory broker
+    (:mod:`repro.engine.server`) may :meth:`resize` it mid-query when other
+    queries release (or demand) workspace pages.  A resize takes effect at
+    the next :meth:`allocate` call — in practice the next dynamic
+    re-allocation the controller performs on a collector completion — so
+    cross-query pressure feeds the paper's memory re-allocation trigger
+    without touching grants already promised (:attr:`reserved_pages` is the
+    floor a shrink can never go below).
+    """
 
     def __init__(self, budget_pages: int) -> None:
         if budget_pages <= 0:
             raise MemoryGrantError(f"memory budget must be positive, got {budget_pages}")
         self.budget_pages = budget_pages
+        #: Pages promised by the most recent :meth:`allocate` call (sum of
+        #: all grants).  The broker treats everything above this as
+        #: reclaimable headroom; nothing below it may ever be taken back.
+        self.reserved_pages = 0
+
+    def resize(self, budget_pages: int) -> int:
+        """Adjust the budget (broker re-grant/reclaim); returns the value set.
+
+        Shrinks are floored at :attr:`reserved_pages` — pages already
+        promised to operators stay promised (paper section 2.3: a started
+        operator's grant cannot change; here the same guarantee extends to
+        every grant the manager has issued).
+        """
+        new_budget = max(budget_pages, self.reserved_pages, 1)
+        self.budget_pages = new_budget
+        return new_budget
 
     def allocate(
         self,
@@ -136,6 +162,7 @@ class MemoryManager:
                 f"totalling {minimum_total} pages"
             )
         self._grant_max_or_min(open_demands, budget, grants)
+        self.reserved_pages = sum(grants.values())
         if tracer is not None:
             tracer.instant(
                 "memory-allocate",
@@ -149,11 +176,20 @@ class MemoryManager:
 
     @staticmethod
     def split_grant(pages: int, partitions: int) -> list[int]:
-        """Divide a grant of ``pages`` across ``partitions`` parallel workers.
+        """Divide a grant of ``pages`` across ``partitions`` consumers.
 
         Used by the morsel-parallel executor to bound per-worker staging
-        memory: shares differ by at most one page and sum exactly to the
-        grant, with earlier partitions receiving the remainder pages.
+        memory and by the cross-session memory broker to compute per-session
+        fair shares: shares differ by at most one page and sum exactly to
+        the grant, with earlier partitions receiving the remainder pages.
+
+        Degenerate splits follow a **floor-zero contract**, the same one
+        :meth:`spill_windows` exposes: ``pages <= 0`` yields all-zero shares
+        (never an error), and ``partitions > pages`` yields trailing
+        zero-page shares — the sum stays exact and no share is ever
+        invented.  Callers that cannot tolerate a zero share (the staging
+        windows' anti-deadlock floor, the broker's one-page session
+        guarantee) must apply their floor explicitly on top.
         """
         if partitions <= 0:
             raise MemoryGrantError(
@@ -161,6 +197,24 @@ class MemoryManager:
             )
         base, extra = divmod(max(0, pages), partitions)
         return [base + 1 if i < extra else base for i in range(partitions)]
+
+    @staticmethod
+    def _result_windows(
+        free_pages: int, partitions: int, morsel_pages: int, cap: int, floor: int
+    ) -> list[int]:
+        """Shared share→window arithmetic for the two window helpers.
+
+        Each partition's :meth:`split_grant` share of ``free_pages`` is
+        converted into a count of morsel results, clamped to
+        ``[min(floor, cap), cap]`` — the floor never outranks the cap, so a
+        caller asking for at most zero windows gets zero even when its
+        declared floor is one.
+        """
+        shares = MemoryManager.split_grant(free_pages, partitions)
+        low = min(floor, cap)
+        return [
+            max(low, min(share // max(1, morsel_pages), cap)) for share in shares
+        ]
 
     @staticmethod
     def staging_windows(
@@ -174,10 +228,9 @@ class MemoryManager:
         budget degrades throughput instead of deadlocking) and at most
         ``cap`` (the merge point must not hoard results).
         """
-        shares = MemoryManager.split_grant(max(0, free_pages), partitions)
-        return [
-            max(1, min(share // max(1, morsel_pages), cap)) for share in shares
-        ]
+        return MemoryManager._result_windows(
+            free_pages, partitions, morsel_pages, cap, floor=1
+        )
 
     @staticmethod
     def spill_windows(
@@ -191,12 +244,14 @@ class MemoryManager:
         This arbitrates the second half of that bargain: how many spilled
         results each partition's read-ahead may stage back into parent
         memory beyond its staging window.  Shares come from the same
-        :meth:`split_grant` arithmetic, may be zero (spilled payloads then
-        stay on disk until the merge point reaches them), and are capped
-        at ``cap``.
+        :meth:`split_grant` arithmetic under its floor-zero contract: a
+        zero share yields zero windows (spilled payloads then stay on disk
+        until the merge point reaches them), and windows are capped at
+        ``cap``.
         """
-        shares = MemoryManager.split_grant(max(0, free_pages), partitions)
-        return [min(share // max(1, morsel_pages), cap) for share in shares]
+        return MemoryManager._result_windows(
+            free_pages, partitions, morsel_pages, cap, floor=0
+        )
 
     @staticmethod
     def _grant_max_or_min(

@@ -32,6 +32,7 @@ the pre-compiled ``def`` with fresh cells runs per plan node.
 from __future__ import annotations
 
 import operator
+import sys
 from collections import OrderedDict
 from types import CodeType
 from typing import Callable, Sequence
@@ -57,6 +58,7 @@ from ..plans.logical import (
     Predicate,
     ScalarExpr,
 )
+from ..concurrency import fork_safe_lock
 from ..errors import ExecutionError
 from ..storage.schema import Schema
 
@@ -64,22 +66,30 @@ from ..storage.schema import Schema
 _CODE_CACHE: "OrderedDict[str, CodeType]" = OrderedDict()
 _CODE_CACHE_CAPACITY = 512
 
+#: Serializes cache access across concurrent server sessions (the LRU
+#: move-to-end/evict sequence is not atomic).  Owned by this module so the
+#: post-fork hook replaces it with an unheld lock in pipeline workers.
+_CODE_CACHE_LOCK = fork_safe_lock(
+    sys.modules[__name__], "_CODE_CACHE_LOCK", reentrant=False
+)
+
 #: Observability counters for the code-object cache (tests, benchmarks).
 code_cache_stats = {"hits": 0, "misses": 0}
 
 
 def _instantiate(source: str, filename: str, fn_name: str, cells: dict) -> Callable:
     """Exec ``source`` (compiled once per distinct text) with ``cells`` bound."""
-    code = _CODE_CACHE.get(source)
-    if code is not None:
-        _CODE_CACHE.move_to_end(source)
-        code_cache_stats["hits"] += 1
-    else:
-        code_cache_stats["misses"] += 1
-        code = compile(source, filename, "exec")
-        _CODE_CACHE[source] = code
-        while len(_CODE_CACHE) > _CODE_CACHE_CAPACITY:
-            _CODE_CACHE.popitem(last=False)
+    with _CODE_CACHE_LOCK:
+        code = _CODE_CACHE.get(source)
+        if code is not None:
+            _CODE_CACHE.move_to_end(source)
+            code_cache_stats["hits"] += 1
+        else:
+            code_cache_stats["misses"] += 1
+            code = compile(source, filename, "exec")
+            _CODE_CACHE[source] = code
+            while len(_CODE_CACHE) > _CODE_CACHE_CAPACITY:
+                _CODE_CACHE.popitem(last=False)
     namespace = dict(cells)
     exec(code, namespace)  # noqa: S102
     return namespace[fn_name]

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from typing import Iterable
 
+from ..concurrency import fork_safe_lock
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -34,18 +36,25 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """Monotonically increasing named value."""
+    """Monotonically increasing named value.
 
-    __slots__ = ("name", "value")
+    ``inc`` holds a per-metric lock: Python's ``+=`` on an attribute is a
+    read-modify-write, and concurrent server sessions incrementing the same
+    counter must not lose updates.
+    """
+
+    __slots__ = ("name", "value", "_lock", "__weakref__")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        fork_safe_lock(self, "_lock", reentrant=False)
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self.value}
@@ -54,24 +63,35 @@ class Counter:
 class Gauge:
     """Last-write-wins named value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock", "__weakref__")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        fork_safe_lock(self, "_lock", reentrant=False)
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def add(self, delta: float) -> float:
+        """Atomic read-modify-write adjust (queue depths, active sessions)."""
+        with self._lock:
+            self.value += float(delta)
+            return self.value
 
     def snapshot(self) -> dict:
         return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
-    """Fixed-bucket histogram with count/sum/min/max."""
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``observe`` updates five fields; the per-metric lock keeps them mutually
+    consistent under concurrent sessions (count must equal the bucket sum).
+    """
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
-                 "minimum", "maximum")
+                 "minimum", "maximum", "_lock", "__weakref__")
 
     def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS):
         self.name = name
@@ -83,33 +103,36 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        fork_safe_lock(self, "_lock", reentrant=False)
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.minimum = value if self.minimum is None else min(self.minimum, value)
-        self.maximum = value if self.maximum is None else max(self.maximum, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.minimum = value if self.minimum is None else min(self.minimum, value)
+            self.maximum = value if self.maximum is None else max(self.maximum, value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def snapshot(self) -> dict:
-        buckets = {
-            f"le_{bound:g}": count
-            for bound, count in zip(self.bounds, self.bucket_counts)
-        }
-        buckets["le_inf"] = self.bucket_counts[-1]
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": round(self.total, 9),
-            "min": self.minimum,
-            "max": self.maximum,
-            "buckets": buckets,
-        }
+        with self._lock:
+            buckets = {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.bounds, self.bucket_counts)
+            }
+            buckets["le_inf"] = self.bucket_counts[-1]
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": round(self.total, 9),
+                "min": self.minimum,
+                "max": self.maximum,
+                "buckets": buckets,
+            }
 
 
 class MetricsRegistry:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from ..concurrency import fork_safe_lock
 from ..errors import CatalogError
 from ..stats.histogram import HistogramKind
 from ..stats.table_stats import TableStats, compute_table_stats, schema_only_stats
@@ -56,11 +57,17 @@ class Catalog:
         self._entries: dict[str, TableEntry] = {}
         #: Monotonically increasing statistics epoch (see class docstring).
         self.stats_epoch = 0
+        # Serializes mutations (DDL, stats injection, epoch bumps) across
+        # concurrent server sessions.  Reads stay lock-free: single dict
+        # lookups are atomic under the GIL and entries are never mutated in
+        # place by a writer holding the lock mid-read.
+        self._lock = fork_safe_lock(self, "_lock")
 
     def bump_stats_epoch(self) -> int:
         """Advance the statistics epoch; returns the new value."""
-        self.stats_epoch += 1
-        return self.stats_epoch
+        with self._lock:
+            self.stats_epoch += 1
+            return self.stats_epoch
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._entries
@@ -90,25 +97,27 @@ class Catalog:
     def register_table(self, table: Table, key_columns: Sequence[str] = ()) -> TableEntry:
         """Register an existing table object."""
         key = table.name.lower()
-        if key in self._entries:
-            raise CatalogError(f"table {table.name!r} already exists")
         for col in key_columns:
             if not table.schema.has_column(col):
                 raise CatalogError(f"key column {col!r} not in schema of {table.name!r}")
-        entry = TableEntry(table=table, key_columns=tuple(key_columns))
-        self._entries[key] = entry
-        if not table.is_temporary:
-            self.bump_stats_epoch()
+        with self._lock:
+            if key in self._entries:
+                raise CatalogError(f"table {table.name!r} already exists")
+            entry = TableEntry(table=table, key_columns=tuple(key_columns))
+            self._entries[key] = entry
+            if not table.is_temporary:
+                self.bump_stats_epoch()
         return entry
 
     def drop_table(self, name: str) -> None:
         """Remove a table (and its indexes/statistics) from the catalog."""
         key = name.lower()
-        if key not in self._entries:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        entry = self._entries.pop(key)
-        if not entry.table.is_temporary:
-            self.bump_stats_epoch()
+        with self._lock:
+            if key not in self._entries:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            entry = self._entries.pop(key)
+            if not entry.table.is_temporary:
+                self.bump_stats_epoch()
 
     def entry(self, name: str) -> TableEntry:
         """Catalog entry for ``name`` (raises for unknown tables)."""
@@ -139,17 +148,19 @@ class Catalog:
             key_columns=entry.key_columns,
             histogram_columns=histogram_columns,
         )
-        entry.stats = stats
-        if not entry.table.is_temporary:
-            self.bump_stats_epoch()
+        with self._lock:
+            entry.stats = stats
+            if not entry.table.is_temporary:
+                self.bump_stats_epoch()
         return stats
 
     def set_stats(self, name: str, stats: TableStats) -> None:
         """Inject (possibly deliberately wrong) statistics for a table."""
         entry = self.entry(name)
-        entry.stats = stats
-        if not entry.table.is_temporary:
-            self.bump_stats_epoch()
+        with self._lock:
+            entry.stats = stats
+            if not entry.table.is_temporary:
+                self.bump_stats_epoch()
 
     def stats_for(self, name: str) -> TableStats:
         """Statistics for a table, falling back to schema-only defaults."""
@@ -169,9 +180,10 @@ class Catalog:
         if base in entry.indexes:
             raise CatalogError(f"index already exists on {table_name}.{base}")
         index = build_index(index_name, entry.table, column, clustered=clustered)
-        entry.indexes[base] = index
-        if not entry.table.is_temporary:
-            self.bump_stats_epoch()
+        with self._lock:
+            entry.indexes[base] = index
+            if not entry.table.is_temporary:
+                self.bump_stats_epoch()
         return index
 
     def index_on(self, table_name: str, column: str) -> Index | None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, Iterator, Sequence
 
+from ..concurrency import fork_safe_lock
 from ..errors import StorageError
 from .schema import Schema
 
@@ -41,6 +42,10 @@ class Table:
         #: demand by :meth:`column_store` and kept in sync by
         #: :meth:`append_rows` / :meth:`truncate`.
         self._column_stores: dict = {}
+        # Concurrent server sessions scanning the same table may both reach
+        # the lazy column-store build/sync; serialize it so one session
+        # never observes a half-built shadow.
+        self._store_lock = fork_safe_lock(self, "_store_lock")
         if rows is not None:
             self.append_rows(rows)
 
@@ -86,8 +91,9 @@ class Table:
         if added:
             # Zone maps / column arrays are maintained on append: each
             # attached store extends its tail groups incrementally.
-            for store in self._column_stores.values():
-                store.sync()
+            with self._store_lock:
+                for store in self._column_stores.values():
+                    store.sync()
         return added
 
     def column_store(self, batch_size: int, dictionary_max: int = 256):
@@ -99,14 +105,15 @@ class Table:
         :func:`repro.storage.columnar.numpy_available`.
         """
         key = (batch_size, dictionary_max)
-        store = self._column_stores.get(key)
-        if store is None:
-            from .columnar import ColumnStore
+        with self._store_lock:
+            store = self._column_stores.get(key)
+            if store is None:
+                from .columnar import ColumnStore
 
-            store = self._column_stores[key] = ColumnStore(
-                self, batch_size, dictionary_max
-            )
-        store.sync()
+                store = self._column_stores[key] = ColumnStore(
+                    self, batch_size, dictionary_max
+                )
+            store.sync()
         return store
 
     def iter_pages(self) -> Iterator[Sequence[Row]]:
@@ -118,5 +125,6 @@ class Table:
     def truncate(self) -> None:
         """Remove all rows (used by temp-table recycling)."""
         self.rows.clear()
-        for store in self._column_stores.values():
-            store.reset()
+        with self._store_lock:
+            for store in self._column_stores.values():
+                store.reset()

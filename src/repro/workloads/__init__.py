@@ -1,5 +1,26 @@
-"""Workloads: the paper's running example and the TPC-D-style benchmark."""
+"""Workloads: the paper's running example, the TPC-D-style benchmark, and
+the concurrent-session workload driver."""
 
+from .driver import (
+    ClientScript,
+    WorkloadReport,
+    assert_parity,
+    build_tpcd_scripts,
+    percentile,
+    run_concurrent,
+    run_serial,
+)
 from .synthetic import RUNNING_EXAMPLE_SQL, SyntheticConfig, build_running_example
 
-__all__ = ["RUNNING_EXAMPLE_SQL", "SyntheticConfig", "build_running_example"]
+__all__ = [
+    "ClientScript",
+    "RUNNING_EXAMPLE_SQL",
+    "SyntheticConfig",
+    "WorkloadReport",
+    "assert_parity",
+    "build_running_example",
+    "build_tpcd_scripts",
+    "percentile",
+    "run_concurrent",
+    "run_serial",
+]
