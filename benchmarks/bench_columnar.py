@@ -43,7 +43,7 @@ import time
 from pathlib import Path
 
 from repro import Database, DynamicMode
-from repro.bench import ExperimentConfig
+from repro.bench import ExperimentConfig, stamp_document
 from repro.executor.dispatcher import Dispatcher
 from repro.executor.runtime import RuntimeContext
 from repro.optimizer.cost_model import CostModel
@@ -200,7 +200,7 @@ def run_benchmark(
     batch_total = sum(q["batch_s"] for q in scan_heavy)
     charge_total = sum(q["columnar_s"] for q in scan_heavy)
     free_total = sum(q["columnar_free_s"] for q in scan_heavy)
-    return {
+    document = {
         "scale_factor": scale_factor,
         "repetitions": repetitions,
         "metric": "best-of-N wall-clock seconds (time.perf_counter)",
@@ -226,6 +226,7 @@ def run_benchmark(
         "parity_ok": all(q["parity"] for q in queries),
         "zone_maps_skipped": any(q["groups_skipped"] > 0 for q in queries),
     }
+    return stamp_document(document, {"speedup_gate": 0})
 
 
 def _render(document: dict) -> str:

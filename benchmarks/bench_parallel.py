@@ -34,7 +34,7 @@ import time
 from pathlib import Path
 
 from repro import Database, DynamicMode
-from repro.bench import ExperimentConfig, build_database
+from repro.bench import ExperimentConfig, build_database, stamp_document
 from repro.executor.dispatcher import Dispatcher
 from repro.executor.runtime import RuntimeContext
 from repro.optimizer.cost_model import CostModel
@@ -148,7 +148,7 @@ def run_benchmark(
     parallel_total = sum(q[f"parallel{gate_workers}_s"] for q in scan_heavy)
     cpus = available_cpus()
     gate_enforced = cpus >= REQUIRED_CPUS and gate_workers >= REQUIRED_CPUS
-    return {
+    document = {
         "scale_factor": scale_factor,
         "repetitions": repetitions,
         "worker_counts": list(worker_counts),
@@ -178,6 +178,7 @@ def run_benchmark(
         # regress to leaf-only parallelism.
         "join_pipelines_ran": any(q["join_pipelines"] >= 1 for q in queries),
     }
+    return stamp_document(document, {"speedup_gate": REQUIRED_CPUS})
 
 
 def _render(document: dict) -> str:

@@ -47,7 +47,7 @@ import time
 from pathlib import Path
 
 from repro import Database, DynamicMode
-from repro.bench import ExperimentConfig, build_database
+from repro.bench import ExperimentConfig, build_database, stamp_document
 from repro.executor.dispatcher import Dispatcher
 from repro.executor.runtime import RuntimeContext
 from repro.optimizer.cost_model import CostModel
@@ -246,7 +246,7 @@ def run_benchmark(
 
     build_leg = leg_summary("build", REQUIRED_JOIN_SPEEDUP)
     sort_leg = leg_summary("sort", REQUIRED_SORT_SPEEDUP)
-    return {
+    document = {
         "scale_factor": scale_factor,
         "repetitions": repetitions,
         "worker_counts": list(worker_counts),
@@ -281,6 +281,7 @@ def run_benchmark(
         if gate_workers > 1
         else True,
     }
+    return stamp_document(document, {"speedup_gate": REQUIRED_CPUS})
 
 
 def _render(document: dict) -> str:

@@ -40,7 +40,7 @@ import time
 from pathlib import Path
 
 from repro import DynamicMode
-from repro.bench import ExperimentConfig, build_database
+from repro.bench import ExperimentConfig, build_database, stamp_document
 from repro.workloads.tpcd import CatalogProfile, query_by_name
 
 #: Accurate statistics: warm-path measurements should not be polluted by
@@ -124,7 +124,7 @@ def run_benchmark(
         entry.update(bench_query(db, query.sql, cold_reps, warm_reps))
         queries.append(entry)
     cache = db.plan_cache.stats
-    return {
+    document = {
         "scale_factor": config.scale_factor,
         "mode": BENCH_MODE.value,
         "cold_repetitions": cold_reps,
@@ -139,6 +139,7 @@ def run_benchmark(
             "hit_rate": round(cache.hit_rate, 4),
         },
     }
+    return stamp_document(document)
 
 
 def _render(document: dict) -> str:

@@ -41,7 +41,7 @@ import os
 from pathlib import Path
 
 from repro import Database, MetricsRegistry
-from repro.bench import ExperimentConfig
+from repro.bench import ExperimentConfig, stamp_document
 from repro.workloads import (
     assert_parity,
     build_tpcd_scripts,
@@ -169,7 +169,7 @@ def run_benchmark(
         return 0.0
 
     best = max(modes, key=speedup_at_gate)
-    return {
+    document = {
         "scale_factor": scale_factor,
         "session_counts": list(session_counts),
         "statements_per_session": statements_per_session,
@@ -192,6 +192,7 @@ def run_benchmark(
             point["parity"] for mode in modes for point in mode["points"]
         ),
     }
+    return stamp_document(document, {"throughput_gate": REQUIRED_CPUS})
 
 
 def _render(document: dict) -> str:

@@ -23,7 +23,7 @@ import time
 from pathlib import Path
 
 from repro import Database, DynamicMode
-from repro.bench import ExperimentConfig, build_database
+from repro.bench import ExperimentConfig, build_database, stamp_document
 from repro.executor.dispatcher import Dispatcher
 from repro.executor.runtime import RuntimeContext
 from repro.optimizer.cost_model import CostModel
@@ -110,7 +110,7 @@ def run_benchmark(repetitions: int = REPETITIONS, workers: int = 0) -> dict:
             entry["end_to_end_row_s"] / entry["end_to_end_batch_s"], 2
         )
         queries.append(entry)
-    return {
+    document = {
         "scale_factor": CONFIG.scale_factor,
         "repetitions": repetitions,
         "metric": "best-of-N wall-clock seconds (time.perf_counter)",
@@ -125,6 +125,7 @@ def run_benchmark(repetitions: int = REPETITIONS, workers: int = 0) -> dict:
         # rate, per-query cost distribution).
         "metrics": db.metrics.snapshot(),
     }
+    return stamp_document(document)
 
 
 def _render(document: dict) -> str:

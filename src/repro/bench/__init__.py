@@ -8,15 +8,24 @@ from .harness import (
     run_comparison,
     run_experiment,
 )
-from .reporting import comparison_table, render_table
+from .reporting import (
+    available_cpus,
+    comparison_table,
+    gate_status,
+    render_table,
+    stamp_document,
+)
 
 __all__ = [
     "ExperimentConfig",
     "QueryComparison",
+    "available_cpus",
     "build_database",
     "comparison_table",
+    "gate_status",
     "render_table",
     "rows_equivalent",
     "run_comparison",
     "run_experiment",
+    "stamp_document",
 ]

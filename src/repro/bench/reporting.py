@@ -1,11 +1,51 @@
-"""Rendering experiment results as paper-style tables."""
+"""Rendering experiment results as paper-style tables, plus the
+environment stamp shared by every ``BENCH_*.json`` document."""
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..core.modes import DynamicMode
 from .harness import QueryComparison
+
+
+def available_cpus() -> int:
+    """CPUs actually granted to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def gate_status(enforced: bool, required_cpus: int = 0) -> str:
+    """Canonical per-gate status string for benchmark documents:
+    ``"enforced"`` when the gate ran, ``"skipped-needs-<N>-cpus"`` when the
+    host could not grant the CPUs the gate needs."""
+    if enforced:
+        return "enforced"
+    return f"skipped-needs-{required_cpus}-cpus"
+
+
+def stamp_document(
+    document: dict, required_cpus: dict[str, int] | None = None
+) -> dict:
+    """Stamp a benchmark JSON document with the host environment.
+
+    Adds ``cpu_count`` (affinity-aware) and a top-level ``gates`` map:
+    one :func:`gate_status` string per entry of ``required_cpus`` (gate
+    key -> CPUs that gate needs; 0 for gates with no CPU requirement).
+    Each named key must exist in the document as a dict with an
+    ``enforced`` bool — the canonical gate shape the bench scripts write.
+    Returns the document for chaining.
+    """
+    document["cpu_count"] = available_cpus()
+    gates = {}
+    for key, cpus in (required_cpus or {}).items():
+        gate = document[key]
+        gates[key] = gate_status(bool(gate.get("enforced")), cpus)
+    document["gates"] = gates
+    return document
 
 
 def comparison_table(

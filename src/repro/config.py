@@ -84,6 +84,16 @@ def _default_parallel_sort() -> bool:
     return _env_flag("REPRO_PARALLEL_SORT")
 
 
+def _default_vectorized_agg() -> bool:
+    """Vectorized aggregate-fold kernel default (``REPRO_VECTOR_AGG``)."""
+    return _env_flag("REPRO_VECTOR_AGG")
+
+
+def _default_vectorized_probe() -> bool:
+    """Vectorized join-probe kernel default (``REPRO_VECTOR_PROBE``)."""
+    return _env_flag("REPRO_VECTOR_PROBE")
+
+
 def _default_columnar_parallel() -> bool:
     """Columnar-morsel default (``REPRO_COLUMNAR_PARALLEL``)."""
     return _env_flag("REPRO_COLUMNAR_PARALLEL")
@@ -297,6 +307,20 @@ class EngineConfig:
     #: takes) across the morsel worker pool when more than one worker
     #: resolves.  Charge-mode replay in the parent keeps parity.
     columnar_parallel: bool = field(default_factory=_default_columnar_parallel)
+    #: Whether hash aggregates over a prepared column view fold groups with
+    #: the vectorized NumPy kernels (``executor/agg_kernels.py``) instead
+    #: of the per-row Python accumulator, and whether morsel
+    #: pre-aggregation may cover float SUM/AVG by shipping per-group value
+    #: runs folded once at the merge point.  Bit-parity is unconditional —
+    #: the kernels verify their sequential-fold property at import and
+    #: fall back to the serial fold if NumPy ever changes it.
+    vectorized_agg: bool = field(default_factory=_default_vectorized_agg)
+    #: Whether hash joins probing a columnar pipeline with a single int64
+    #: or dictionary-encoded key answer whole probe batches via a sorted
+    #: build-key index (``np.searchsorted``) instead of per-row dict
+    #: lookups.  Match order and every charge are identical to the serial
+    #: probe loop.
+    vectorized_probe: bool = field(default_factory=_default_vectorized_probe)
     #: Whether ``execution_mode="columnar"`` scans consult per-page-group
     #: zone maps (min/max/null-count) to skip groups a filter provably
     #: matches zero rows in.  Skipping never changes results; whether it
@@ -455,6 +479,8 @@ class EngineConfig:
             "parallel_spill",
             "parallel_sort",
             "columnar_parallel",
+            "vectorized_agg",
+            "vectorized_probe",
             "tracing",
             "zone_map_skipping",
             "server_mode",

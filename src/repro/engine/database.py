@@ -691,6 +691,9 @@ class Database:
                 node_id: dict(per_scan)
                 for node_id, per_scan in sorted(ctx.columnar.by_scan.items())
             },
+            vectorized_agg_pipelines=ctx.vector.agg_pipelines,
+            vectorized_probe_pipelines=ctx.vector.probe_pipelines,
+            rows_folded=ctx.vector.rows_folded,
             pipeline_wall_s={
                 str(pipeline): {
                     str(pid): round(secs, 6)
@@ -762,6 +765,9 @@ class Database:
         m.counter("columnar.zone_map.groups_read").inc(ctx.columnar.groups_read)
         m.counter("columnar.zone_map.groups_skipped").inc(ctx.columnar.groups_skipped)
         m.counter("columnar.zone_map.pages_skipped").inc(ctx.columnar.pages_skipped)
+        m.counter("vector.agg_pipelines").inc(ctx.vector.agg_pipelines)
+        m.counter("vector.probe_pipelines").inc(ctx.vector.probe_pipelines)
+        m.counter("vector.rows_folded").inc(ctx.vector.rows_folded)
         m.gauge("buffer_pool.hit_rate").set(buffer_pool.stats.hit_ratio)
         m.gauge("plan_cache.hit_rate").set(self.plan_cache.stats.hit_rate)
         m.histogram("query.simulated_cost").observe(clock.now)

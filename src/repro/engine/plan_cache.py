@@ -195,12 +195,18 @@ class PlanCache:
         skipping changes which page groups execute, and the cost mode
         changes what a cached entry's profile meant — and on the
         columnar-morsel fan-out (plus its resolved worker count), which
-        changes which pipelines run inside forked workers.
+        changes which pipelines run inside forked workers.  The vector
+        knobs ride along too: ``vectorized_agg``/``vectorized_probe``
+        decide which columnar pipelines take the kernel path (and what
+        the cached profile's vector counters meant), and ``vectorized_agg``
+        decides whether float SUM/AVG pre-aggregate in parallel plans.
         """
         if execution_mode == "columnar":
             key = (
                 f"columnar/z{int(config.zone_map_skipping)}"
                 f"/{config.zone_map_cost_mode}"
+                f"/va{int(config.vectorized_agg)}"
+                f"/vp{int(config.vectorized_probe)}"
             )
             if config.columnar_parallel:
                 resolved = workers if workers is not None else config.parallel_workers
@@ -216,6 +222,7 @@ class PlanCache:
             f"/b{int(config.parallel_build)}"
             f"/s{int(config.parallel_sort)}"
             f"/p{int(config.parallel_spill)}"
+            f"/va{int(config.vectorized_agg)}"
         )
 
     def lookup(self, key: tuple, epoch: int):

@@ -135,6 +135,15 @@ class ExecutionProfile:
     zone_map_pages_skipped: int = 0
     zone_map_rows_skipped: int = 0
     zone_map_by_scan: dict[int, dict] = field(default_factory=dict)
+    #: Vectorized-kernel telemetry (``vectorized_agg``/``vectorized_probe``;
+    #: all zero otherwise).  ``vectorized_agg_pipelines`` counts aggregates
+    #: folded by the NumPy group-by kernels (columnar pipelines and parallel
+    #: value-run pre-aggregations alike), ``vectorized_probe_pipelines``
+    #: join probes served by the searchsorted kernel, and ``rows_folded``
+    #: the input rows those aggregate folds consumed.
+    vectorized_agg_pipelines: int = 0
+    vectorized_probe_pipelines: int = 0
+    rows_folded: int = 0
     #: Concurrent-server telemetry (label fields empty and wait/broker
     #: counters zero for inline executions; the memory fields always record
     #: the budget the query actually ran under).
@@ -228,6 +237,12 @@ class ExecutionProfile:
                 f"{self.zone_map_groups_read}/{self.zone_map_skips} "
                 f"pages skipped={self.zone_map_pages_skipped} "
                 f"rows skipped={self.zone_map_rows_skipped}"
+            )
+        if self.vectorized_agg_pipelines or self.vectorized_probe_pipelines:
+            lines.append(
+                f"vectorized: agg pipelines={self.vectorized_agg_pipelines} "
+                f"probe pipelines={self.vectorized_probe_pipelines} "
+                f"rows folded={self.rows_folded}"
             )
         if self.session or self.executed_via != "inline":
             lines.append(

@@ -1,0 +1,458 @@
+"""Vectorized group-by folding and join-probe kernels (NumPy).
+
+The columnar path (PR 6) vectorized scans, filters and key extraction, but
+aggregation and join probing still ran the row-at-a-time Python fold.
+This module supplies the missing kernels under the engine's unconditional
+bit-parity contract: every result byte — including float64 SUM/AVG totals
+— must match the serial ``_AggState`` accumulator exactly.
+
+Float SUM parity argument
+-------------------------
+The serial fold is a strict left-to-right accumulation::
+
+    total = 0
+    for value in run:          # run = the group's values in row order
+        total += value
+
+Floating-point addition is not associative, so a vectorized SUM is only
+bit-identical if it performs *the same additions in the same order*.
+``np.add.reduceat`` does **not** guarantee that: NumPy reduces contiguous
+float64 segments with pairwise/SIMD blocking, so reduceat totals diverge
+from the serial fold in the low bits.  What *is* a strict sequential fold
+(verified by :func:`_probe_axis0_left_fold` at import time) is the axis-0
+reduction of a C-contiguous 2-D float64 matrix with at least two columns:
+``np.add.reduce(m, axis=0)`` walks rows top to bottom, adding row ``i`` to
+the running accumulator row — the inner (column) dimension is what gets
+vectorized, the group dimension, so the per-column fold order is exactly
+the serial order.  (A single-column matrix falls back to NumPy's pairwise
+1-D path, so kernels always pad the group dimension to >= 2.)
+
+:func:`float_group_sums` therefore gathers each group's values in row
+order into its own matrix column, front-padded with ``+0.0`` so every
+column folds ``0.0 + v0 + v1 + ...`` — bit-identical to the serial fold's
+``0 + v0 + ...`` start (``0 + (-0.0)`` is ``+0.0`` under both Python and
+IEEE 754 addition, so the zero padding is exact, never a no-op
+approximation).  Groups are bucketed into power-of-two length classes so
+the padding overhead is bounded by 2x even under heavy group skew.
+
+If a future NumPy changes the axis-0 fold (e.g. blocks over rows), the
+import-time probe fails closed: :func:`kernels_available` returns False
+and every caller falls back to the serial fold, keeping parity at the
+cost of speed.
+
+MIN/MAX and integers
+--------------------
+``np.minimum/np.maximum.reduceat`` are order-insensitive *except* for
+signed-zero ties (NumPy keeps the second operand, the serial strict
+comparison keeps the first) and NaNs (SIMD min/max may drop them, the
+serial keep-first fold propagates position-dependently).  Groups
+containing ``±0.0`` or NaN are detected vectorially and recomputed with
+an exact serial-replica loop; everything else takes the reduceat result,
+which is bitwise unique when no such tie exists.  Integer SUM is fully
+associative, so ``np.add.reduceat`` is exact — guarded by an overflow
+bound (NumPy int64 wraps silently, Python ints do not) with an
+object-dtype reduceat fallback that folds arbitrary-precision Python
+ints.  COUNT is ``np.bincount`` (counting NULLs, like the serial
+``update``'s unconditional ``count += 1``).
+
+Join probe
+----------
+:class:`ProbeIndex` sorts the build side's (key, row) pairs once with a
+stable argsort — equal keys keep hash-table insertion order, which is
+build-input row order — then answers each probe batch with two
+``np.searchsorted`` sweeps and a ``np.repeat`` expansion.  Output rows
+are emitted in probe-row order with build matches in build order: exactly
+the serial ``hash_table.get`` loop's order.  Keys must live in an exact
+total order shared with Python ``==`` — int64 values or dictionary codes
+— so any build key that is not a plain ``int`` (a float or bool can equal
+an int under Python semantics but not under int64 comparison) disables
+the kernel for that join.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+try:  # Optional dependency: without NumPy every kernel reports unavailable.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None  # type: ignore[assignment]
+
+
+def _probe_axis0_left_fold() -> bool:
+    """Whether ``np.add.reduce(matrix, axis=0)`` is a strict top-to-bottom
+    sequential fold for float64 — the property the float SUM kernels need.
+
+    Probes adversarial operand sets whose sums differ between sequential
+    and pairwise/compensated orders, at several matrix widths, plus the
+    signed-zero prefix identity (``0.0 + -0.0`` must normalise to
+    ``+0.0``).  Any mismatch fails closed to the serial fold.
+    """
+    if _np is None:
+        return False
+    cases = [
+        [1e16, 1.0, 1.0, -1e16],
+        [1.0, 1e100, 1.0, -1e100, 1.0],
+        [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        [1e308, 1e308, -1e308, -1e308, 1.0],
+    ]
+    for values in cases:
+        total = 0.0
+        for value in values:
+            total = total + value
+        for width in (2, 3, 7):
+            matrix = _np.zeros((len(values) + 1, width), dtype=_np.float64)
+            matrix[1:, 0] = values
+            with _np.errstate(over="ignore", invalid="ignore"):
+                folded = _np.add.reduce(matrix, axis=0)[0]
+            if folded != total and not (
+                _np.isnan(folded) and total != total
+            ):
+                return False
+    matrix = _np.zeros((2, 2), dtype=_np.float64)
+    matrix[1, 0] = -0.0
+    zero = _np.add.reduce(matrix, axis=0)[0]
+    return zero == 0.0 and not _np.signbit(zero)
+
+
+_KERNELS_OK = _probe_axis0_left_fold()
+
+
+def kernels_available() -> bool:
+    """Whether the vectorized fold kernels may run (NumPy present and the
+    axis-0 sequential-fold property verified)."""
+    return _KERNELS_OK
+
+
+# ----------------------------------------------------------------------
+# Group-key factorization (first-occurrence order)
+# ----------------------------------------------------------------------
+
+
+def factorize_array(array):
+    """Factorize a numeric array into first-occurrence-ordered group codes.
+
+    Returns ``(codes, keys, firsts)``: ``codes[i]`` is the group of row
+    ``i``, ``keys`` the distinct values with ``keys[g]`` the value first
+    seen among rows of group ``g``, and ``firsts[g]`` that first row's
+    index.  Exact for integer dtypes (int64 values, dictionary codes);
+    float arrays must go through :func:`factorize_values`, whose Python
+    dict replicates the serial path's NaN/signed-zero key semantics.
+    """
+    uniq, first, inverse = _np.unique(
+        array, return_index=True, return_inverse=True
+    )
+    order = _np.argsort(first, kind="stable")
+    rank = _np.empty(len(order), dtype=_np.int64)
+    rank[order] = _np.arange(len(order), dtype=_np.int64)
+    return rank[inverse], uniq[order], first[order]
+
+
+def factorize_values(values: Sequence):
+    """Factorize a Python value sequence with serial-dict key semantics.
+
+    The mapping dict buckets exactly like the serial fold's ``groups``
+    dict (hash then identity-or-equality), so ``0.0``/``-0.0`` share a
+    group keyed by the first occurrence and each distinct NaN object forms
+    its own group — byte-identical grouping for every input the serial
+    path accepts.  Returns ``(codes, keys)``.
+    """
+    codes = _np.empty(len(values), dtype=_np.int64)
+    mapping: dict = {}
+    keys: list = []
+    get = mapping.get
+    for i, value in enumerate(values):
+        code = get(value, -1)
+        if code < 0:
+            code = len(keys)
+            mapping[value] = code
+            keys.append(value)
+        codes[i] = code
+    return codes, keys
+
+
+# ----------------------------------------------------------------------
+# Grouped folds
+# ----------------------------------------------------------------------
+
+
+def group_layout(codes, n_groups: int):
+    """Stable-gather layout: ``(counts, order, starts)`` where ``order``
+    sorts rows by group with original row order preserved inside each
+    group and ``starts[g]`` is group ``g``'s first slot in that order."""
+    counts = _np.bincount(codes, minlength=n_groups)
+    order = _np.argsort(codes, kind="stable")
+    starts = _np.zeros(n_groups, dtype=_np.int64)
+    if n_groups > 1:
+        _np.cumsum(counts[:-1], out=starts[1:])
+    return counts, order, starts
+
+
+def group_counts(codes, n_groups: int) -> list:
+    """Per-group row counts (COUNT semantics: NULL rows count)."""
+    return _np.bincount(codes, minlength=n_groups).tolist()
+
+
+def float_group_sums(values, codes, n_groups: int, layout=None) -> list:
+    """Exact serial-order SUM per group for a float64 array (no NULLs).
+
+    Each group's values are gathered in row order into one column of a
+    front-zero-padded matrix and folded with ``np.add.reduce(axis=0)`` —
+    a verified strict sequential fold (see module docstring).  Groups are
+    bucketed by power-of-two length class to bound padding waste; every
+    matrix keeps >= 2 columns and one all-zero top row so each column
+    folds ``0.0 + v0 + ...`` like the serial accumulator.  Every group
+    must own at least one row.  ``layout`` optionally supplies a
+    precomputed ``group_layout(codes, n_groups)`` so callers folding
+    several columns over the same codes pay for the argsort once.
+    Returns Python floats.
+    """
+    counts, order, starts = (
+        layout if layout is not None else group_layout(codes, n_groups)
+    )
+    sorted_values = values[order]
+    sorted_codes = codes[order]
+    # Position of each slot within its group, then the group's pow-2
+    # length class (counts < 2**52 are exact in float64, so frexp's
+    # exponent is bit_length(count - 1), i.e. ceil-log2).
+    pos = _np.arange(len(values), dtype=_np.int64) - starts[sorted_codes]
+    bits = _np.frexp((counts - 1).astype(_np.float64))[1]
+    length_class = _np.where(counts <= 1, 1, _np.int64(1) << bits)
+    totals = _np.zeros(n_groups, dtype=_np.float64)
+    element_class = length_class[sorted_codes]
+    for cls in _np.unique(length_class).tolist():
+        members = _np.nonzero(length_class == cls)[0]
+        column_of = _np.zeros(n_groups, dtype=_np.int64)
+        column_of[members] = _np.arange(len(members), dtype=_np.int64)
+        in_class = element_class == cls
+        member_codes = sorted_codes[in_class]
+        # Front-pad: group g's run lands in the last counts[g] rows, with
+        # row 0 always zero so the fold starts from +0.0.
+        rows = cls - counts[member_codes] + pos[in_class] + 1
+        matrix = _np.zeros((cls + 1, max(2, len(members))), dtype=_np.float64)
+        matrix[rows, column_of[member_codes]] = sorted_values[in_class]
+        # Serial Python float addition overflows to inf (and inf + -inf to
+        # nan) silently; keep the vectorized fold as quiet.
+        with _np.errstate(over="ignore", invalid="ignore"):
+            folded = _np.add.reduce(matrix, axis=0)
+        totals[members] = folded[: len(members)]
+    return totals.tolist()
+
+
+def int_group_sums(values, codes, n_groups: int, layout=None) -> list:
+    """Exact SUM per group for an int64 array (no NULLs).
+
+    Integer addition is associative, so ``np.add.reduceat`` is exact as
+    long as no partial can wrap int64; otherwise the fold runs over the
+    object-dtype view, adding arbitrary-precision Python ints.  Every
+    group must own at least one row.  ``layout`` optionally supplies a
+    precomputed ``group_layout(codes, n_groups)``.  Returns Python ints.
+    """
+    counts, order, starts = (
+        layout if layout is not None else group_layout(codes, n_groups)
+    )
+    sorted_values = values[order]
+    largest = max(-int(sorted_values.min()), int(sorted_values.max()))
+    if largest and int(counts.max()) > (2**62) // largest:
+        return [int(t) for t in _np.add.reduceat(
+            sorted_values.astype(object), starts
+        )]
+    return _np.add.reduceat(sorted_values, starts).tolist()
+
+
+def object_group_sums(values: Sequence, codes: Sequence, n_groups: int) -> list:
+    """SUM per group for Python values — the serial fold verbatim, with
+    per-group left-to-right order preserved (NULLs skip, all-NULL groups
+    keep the integer 0 start, type errors propagate like serial)."""
+    totals = [0] * n_groups
+    for code, value in zip(codes, values):
+        if value is not None:
+            totals[code] = totals[code] + value
+    return totals
+
+
+def minmax_group_fold(
+    values, codes, n_groups: int, maximum: bool, layout=None
+) -> list:
+    """MIN or MAX per group for an int64/float64 array (no NULLs).
+
+    ``np.minimum/maximum.reduceat`` is bitwise-exact whenever the
+    extremum is unique at the bit level; groups where it is not — any
+    group containing ``±0.0`` (NumPy ties keep the second operand, the
+    serial strict comparison keeps the first) or NaN (unordered under
+    comparison) — are detected vectorially and recomputed with the serial
+    keep-first loop.  Every group must own at least one row.  ``layout``
+    optionally supplies a precomputed ``group_layout(codes, n_groups)``.
+    """
+    counts, order, starts = (
+        layout if layout is not None else group_layout(codes, n_groups)
+    )
+    sorted_values = values[order]
+    ufunc = _np.maximum if maximum else _np.minimum
+    out = ufunc.reduceat(sorted_values, starts).tolist()
+    if values.dtype == _np.float64:
+        hazard = _np.isnan(values) | (values == 0.0)
+        if hazard.any():
+            flagged = _np.bincount(codes[hazard], minlength=n_groups)
+            for g in _np.nonzero(flagged)[0].tolist():
+                run = sorted_values[starts[g] : starts[g] + counts[g]].tolist()
+                best = None
+                for value in run:
+                    if best is None or (
+                        value > best if maximum else value < best
+                    ):
+                        best = value
+                out[g] = best
+    return out
+
+
+def object_group_minmax(
+    values: Sequence, codes: Sequence, n_groups: int, maximum: bool
+) -> list:
+    """MIN/MAX per group for Python values — the serial keep-first fold
+    verbatim (NULLs skip; all-NULL groups stay None)."""
+    best = [None] * n_groups
+    if maximum:
+        for code, value in zip(codes, values):
+            if value is not None and (best[code] is None or value > best[code]):
+                best[code] = value
+    else:
+        for code, value in zip(codes, values):
+            if value is not None and (best[code] is None or value < best[code]):
+                best[code] = value
+    return best
+
+
+def left_fold_sum(values: Sequence):
+    """``total = 0; for v in values: total += v`` — exact, with the matrix
+    fold fast path for all-float runs.
+
+    Used to finalise parallel pre-aggregation value runs: the run is one
+    group's non-NULL values in row order, so one sequential fold at the
+    merge point reproduces the serial total bit-for-bit.  Runs holding
+    any non-float (Python int arithmetic keeps integer totals exact and
+    type-visible in the output) take the plain loop.
+    """
+    n = len(values)
+    if (
+        _KERNELS_OK
+        and n > 16
+        and all(type(value) is float for value in values)
+    ):
+        matrix = _np.zeros((n + 1, 2), dtype=_np.float64)
+        matrix[1:, 0] = values
+        with _np.errstate(over="ignore", invalid="ignore"):
+            return _np.add.reduce(matrix, axis=0)[0].item()
+    total = 0
+    for value in values:
+        total += value
+    return total
+
+
+# ----------------------------------------------------------------------
+# Vectorized join probe
+# ----------------------------------------------------------------------
+
+
+class ProbeIndex:
+    """A sorted build-key index answering whole probe batches at once.
+
+    Built once per hash join from the finished build table: every
+    (key, build-row) pair is flattened in hash-table order — key groups
+    in insertion order, rows within a key in build order — then stably
+    sorted by key, so ``searchsorted`` ranges enumerate a key's matches
+    in exactly the serial lookup's emission order.
+    """
+
+    __slots__ = ("sorted_keys", "flat_rows")
+
+    def __init__(self, sorted_keys, flat_rows) -> None:
+        self.sorted_keys = sorted_keys
+        self.flat_rows = flat_rows
+
+    @staticmethod
+    def _sorted(keys, rows) -> "ProbeIndex":
+        order = _np.argsort(keys, kind="stable")
+        return ProbeIndex(keys[order], [rows[i] for i in order.tolist()])
+
+    @classmethod
+    def from_int_keys(cls, hash_table: dict) -> "ProbeIndex | None":
+        """Index over plain-int build keys, or None when any key falls
+        outside int64's exact domain (floats and bools can equal an int
+        under Python ``==`` but not under int64 comparison, so any
+        non-int key disables the kernel for the whole join)."""
+        if _np is None:
+            return None
+        repeated: list = []
+        rows: list = []
+        for key, matches in hash_table.items():
+            if type(key) is not int:
+                return None
+            repeated.extend([key] * len(matches))
+            rows.extend(matches)
+        try:
+            keys = _np.array(repeated, dtype=_np.int64)
+        except OverflowError:
+            return None
+        return cls._sorted(keys, rows)
+
+    @classmethod
+    def from_dict_keys(cls, hash_table: dict, dictionary) -> "ProbeIndex | None":
+        """Index over a dictionary-encoded probe column's code space.
+
+        Build keys map through the probe dictionary: equal values share a
+        code (dict equality — the serial lookup's own notion), NULL is
+        code -1, and keys absent from the dictionary get sub--1 codes no
+        probe row can carry, so they never match — exactly like the
+        serial ``hash_table.get`` missing every probe value.
+        """
+        if _np is None:
+            return None
+        code_of = dictionary.codes.get
+        repeated: list = []
+        rows: list = []
+        missing = -2
+        for key, matches in hash_table.items():
+            if key is None:
+                code = -1
+            else:
+                try:
+                    code = code_of(key)
+                except TypeError:
+                    return None
+                if code is None:
+                    code = missing
+                    missing -= 1
+            repeated.extend([code] * len(matches))
+            rows.extend(matches)
+        return cls._sorted(_np.array(repeated, dtype=_np.int64), rows)
+
+    def probe(self, keys, batch) -> list:
+        """All join matches for one probe batch, in serial emission order.
+
+        ``keys`` is the batch's key column (int64 values or dictionary
+        codes) aligned with ``batch``; the result rows are
+        ``build_row + probe_row`` ordered by probe position, matches in
+        build order within each.
+        """
+        sorted_keys = self.sorted_keys
+        lo = _np.searchsorted(sorted_keys, keys, side="left")
+        hi = _np.searchsorted(sorted_keys, keys, side="right")
+        match_counts = hi - lo
+        matched = _np.nonzero(match_counts)[0]
+        if not len(matched):
+            return []
+        match_counts = match_counts[matched]
+        total = int(match_counts.sum())
+        run_offsets = _np.cumsum(match_counts) - match_counts
+        slots = (
+            _np.arange(total, dtype=_np.int64)
+            - _np.repeat(run_offsets, match_counts)
+            + _np.repeat(lo[matched], match_counts)
+        )
+        probe_positions = _np.repeat(matched, match_counts)
+        flat_rows = self.flat_rows
+        return [
+            flat_rows[slot] + batch[position]
+            for slot, position in zip(slots.tolist(), probe_positions.tolist())
+        ]

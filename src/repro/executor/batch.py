@@ -337,46 +337,77 @@ def _hash_join(node: HashJoinNode, ctx: RuntimeContext) -> BatchIterator:
     # ones the plain pipeline would yield, so the loop below is unchanged
     # — it just stops re-extracting keys row by row.
     keyed_probe = None
+    vector_probe = None
     if ctx.execution_mode == "columnar":
-        from .columnar import columnar_keyed_batches
+        from .columnar import columnar_keyed_batches, columnar_probe_stream
 
-        keyed_probe = columnar_keyed_batches(
-            node.probe,
-            ctx,
-            [node.probe.schema.index_of(col) for __, col in node.key_pairs],
-        )
+        # Single-key joins over an int64 or dictionary-encoded probe
+        # column can answer whole batches through the sorted build-key
+        # index — emission order and charges identical to the loop below.
+        if len(node.key_pairs) == 1:
+            vector_probe = columnar_probe_stream(
+                node.probe,
+                ctx,
+                node.probe.schema.index_of(node.key_pairs[0][1]),
+                hash_table,
+            )
+        if vector_probe is None:
+            keyed_probe = columnar_keyed_batches(
+                node.probe,
+                ctx,
+                [node.probe.schema.index_of(col) for __, col in node.key_pairs],
+            )
 
     def probe_batches() -> BatchIterator:
         probe_count = 0
         output_count = 0
         get = hash_table.get
         source = keyed_probe
-        if source is None:
+        if vector_probe is None and source is None:
             source = (
                 (batch, map(probe_key, batch))
                 for batch in execute_node_batches(node.probe, ctx)
             )
         try:
-            for batch, keys in source:
-                probe_count += len(batch)
-                out: list[Row] = []
-                append = out.append
-                extend = out.extend
-                # Key extraction and hash lookups run under map() at C
-                # speed; the Python loop body only fires to emit matches.
-                for prow, matches in zip(batch, map(get, keys)):
-                    if matches is None:
-                        continue
-                    if len(matches) == 1:
-                        append(matches[0] + prow)
-                    else:
-                        extend([brow + prow for brow in matches])
-                if residual_filter is not None:
-                    out = residual_filter(out)
-                if out:
-                    output_count += len(out)
-                    yield out
+            if vector_probe is not None:
+                stream, index = vector_probe
+                probe_kernel = index.probe
+                for batch, key_array in stream:
+                    probe_count += len(batch)
+                    out = probe_kernel(key_array, batch)
+                    if residual_filter is not None:
+                        out = residual_filter(out)
+                    if out:
+                        output_count += len(out)
+                        yield out
+            else:
+                for batch, keys in source:
+                    probe_count += len(batch)
+                    out: list[Row] = []
+                    append = out.append
+                    extend = out.extend
+                    # Key extraction and hash lookups run under map() at C
+                    # speed; the Python loop body only fires to emit matches.
+                    for prow, matches in zip(batch, map(get, keys)):
+                        if matches is None:
+                            continue
+                        if len(matches) == 1:
+                            append(matches[0] + prow)
+                        else:
+                            extend([brow + prow for brow in matches])
+                    if residual_filter is not None:
+                        out = residual_filter(out)
+                    if out:
+                        output_count += len(out)
+                        yield out
         finally:
+            if vector_probe is not None:
+                per_node = ctx.vector.by_node.setdefault(
+                    node.node_id,
+                    {"kind": "probe", "rows_probed": 0, "matches": 0},
+                )
+                per_node["rows_probed"] += probe_count
+                per_node["matches"] += output_count
             probe_pages = pages_for(
                 probe_count, node.probe.schema.row_bytes, page_size
             )
@@ -578,15 +609,24 @@ def _hash_aggregate(node: HashAggregateNode, ctx: RuntimeContext) -> BatchIterat
         # Workers fold their morsels into per-group partials and ship
         # those instead of rows; partials merge in morsel order, so group
         # states, group order and every output byte match the serial fold.
-        # Returns None (and we fold serially below) whenever any aggregate
-        # is non-associative at the bit level (AVG, float SUM).
+        # Float SUM/AVG partials travel as ordered value runs folded once
+        # at the merge point (vectorized_agg); returns None (and we fold
+        # serially below) only for non-numeric SUM/AVG arguments, or for
+        # float aggregates when the knob is off.
         preaggregated = morsel_preaggregate(node, ctx)
-    elif ctx.execution_mode == "columnar" and group_positions:
-        from .columnar import columnar_keyed_batches
+    elif ctx.execution_mode == "columnar":
+        from .columnar import columnar_keyed_batches, columnar_vectorized_aggregate
 
-        # Group keys come straight off the input pipeline's column arrays;
-        # the fold below is unchanged, it just skips per-row extraction.
-        keyed_input = columnar_keyed_batches(node.child, ctx, group_positions)
+        # Best case the whole aggregate runs in column space: keys
+        # factorize straight off the column arrays and every fold runs in
+        # the vectorized kernels, bit-identical to the serial accumulator
+        # (executor/agg_kernels.py documents the parity argument).
+        preaggregated = columnar_vectorized_aggregate(node, ctx)
+        if preaggregated is None and group_positions:
+            # Group keys still come straight off the input pipeline's
+            # column arrays; the fold below is unchanged, it just skips
+            # per-row extraction.
+            keyed_input = columnar_keyed_batches(node.child, ctx, group_positions)
     if preaggregated is not None:
         groups, input_rows, grant = preaggregated
     else:

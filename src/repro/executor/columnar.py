@@ -75,11 +75,24 @@ try:  # Guarded import: the engine must load without NumPy installed.
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None  # type: ignore[assignment]
 
-from ..plans.logical import ColumnExpr, CompareOp, Comparison, InPredicate
+from ..plans.logical import AggFunc, ColumnExpr, CompareOp, Comparison, InPredicate
 from ..plans.physical import FilterNode, PlanNode, ProjectNode, SeqScanNode
 from ..storage.columnar import ColumnGroup, ZoneMap, numpy_available
 from ..storage.table import Table
+from .agg_kernels import (
+    ProbeIndex,
+    factorize_array,
+    factorize_values,
+    float_group_sums,
+    group_layout,
+    int_group_sums,
+    kernels_available,
+    minmax_group_fold,
+    object_group_minmax,
+    object_group_sums,
+)
 from .collector import RuntimeCollector
+from .iterators import _AggState, aggregate_items
 from .parallel import (
     _MorselResult,
     _WorkerState,
@@ -363,6 +376,247 @@ def _strip_keys(gen: Iterator[tuple[Batch, list]]) -> Iterator[Batch]:
         yield batch
 
 
+def columnar_probe_stream(
+    node: PlanNode, ctx: RuntimeContext, key_position: int, hash_table: dict
+):
+    """A vectorized hash-join probe source — ``(stream, index)`` — or None.
+
+    ``stream`` yields ``(batch, key_array)`` with the single key column
+    read straight off the probe pipeline's arrays (dictionary columns stay
+    in code space); ``index`` is the sorted build-key
+    :class:`~repro.executor.agg_kernels.ProbeIndex` answering each batch
+    in one ``searchsorted`` sweep.  Declines (None) when the chain leaves
+    column space, the key column is neither int64 nor dictionary-encoded,
+    or the build keys fall outside the kernel's exact comparison domain —
+    the pipeline generator is never started before qualification, so a
+    decline costs nothing.
+    """
+    config = ctx.config
+    if not config.vectorized_probe or _np is None:
+        return None
+    prepared = _prepare(node, ctx)
+    if prepared is None or prepared.split != len(prepared.stages):
+        return None
+    store = prepared.table.column_store(
+        ctx.batch_size, config.columnar_dictionary_max
+    )
+    column = prepared.out_view[key_position]
+    encoding = store.encodings[column]
+    if encoding == "int64":
+        index = ProbeIndex.from_int_keys(hash_table)
+    elif encoding == "dict":
+        index = ProbeIndex.from_dict_keys(hash_table, store.dictionaries[column])
+    else:
+        return None
+    if index is None:
+        return None
+    ctx.vector.probe_pipelines += 1
+    return _run_pipeline(ctx, prepared, (key_position,), raw_keys=True), index
+
+
+def columnar_vectorized_aggregate(node, ctx: RuntimeContext):
+    """Fully vectorized hash aggregation over a prepared column view.
+
+    Returns ``(groups, input_rows, grant)`` — the contract
+    ``morsel_preaggregate`` established — or None to stay on the serial
+    fold.  The input pipeline runs in column space end to end; the
+    selected key and argument arrays are concatenated into whole-stream
+    arrays, keys factorize in first-occurrence order, and each aggregate
+    folds once globally in the agg_kernels — per-page-group partial folds
+    would not merge bit-exactly for float SUM/AVG, one whole-stream fold
+    reproduces the serial accumulator byte for byte (see
+    ``executor/agg_kernels.py``).  Qualification is static (encodings and
+    expression shapes only), so a qualified pipeline never bails out
+    after charges started.
+    """
+    config = ctx.config
+    if not config.vectorized_agg or not kernels_available():
+        return None
+    group_positions, agg_items, __ = aggregate_items(node)
+    child_schema = node.child.schema
+    specs: list[tuple[AggFunc, int | None]] = []
+    for out_index, func, __arg in agg_items:
+        arg = node.output[out_index].expr.arg
+        if arg is None:
+            specs.append((func, None))
+        elif type(arg) is ColumnExpr:
+            specs.append((func, child_schema.index_of(arg.name)))
+        else:
+            return None  # computed argument: the serial fold handles it
+    prepared = _prepare(node.child, ctx)
+    if prepared is None or prepared.split != len(prepared.stages):
+        return None
+    out_view = prepared.out_view
+    store = prepared.table.column_store(
+        ctx.batch_size, config.columnar_dictionary_max
+    )
+    encodings = store.encodings
+    key_cols = [out_view[p] for p in group_positions]
+    specs = [
+        (func, None if position is None else out_view[position])
+        for func, position in specs
+    ]
+    arg_cols = {column for __, column in specs if column is not None}
+    # Dictionary key columns factorize directly on their code arrays; any
+    # column feeding an aggregate argument is collected in value space.
+    as_codes = {
+        column
+        for column in key_cols
+        if encodings[column] == "dict" and column not in arg_cols
+    }
+    chunks: dict[int, list] = {column: [] for column in {*key_cols, *arg_cols}}
+    values_of = store.values
+    input_rows = 0
+    grant: int | None = None
+    for group, sel, survivors in _run_pipeline(
+        ctx, prepared, None, yield_groups=True
+    ):
+        if grant is None:
+            grant = ctx.commit_memory(node)
+        input_rows += survivors
+        for column, parts in chunks.items():
+            array = (
+                group.arrays[column]
+                if column in as_codes
+                else values_of(group, column)
+            )
+            parts.append(array if sel is None else array[sel])
+
+    if key_cols:
+        ctx.columnar.keyed_pipelines += 1
+    vec = ctx.vector
+    vec.agg_pipelines += 1
+    vec.rows_folded += input_rows
+    per_node = vec.by_node.setdefault(
+        node.node_id, {"kind": "aggregate", "rows_folded": 0, "groups": 0}
+    )
+    per_node["rows_folded"] += input_rows
+    if input_rows == 0:
+        return {}, 0, grant
+
+    streams = {
+        column: (parts[0] if len(parts) == 1 else _np.concatenate(parts))
+        for column, parts in chunks.items()
+    }
+
+    # ---- factorize the group keys (first-occurrence order) ------------
+    dictionaries = store.dictionaries
+    if not key_cols:
+        codes = _np.zeros(input_rows, dtype=_np.int64)
+        group_keys: list = [()]
+    else:
+        per_codes = []
+        per_keys = []
+        for column in key_cols:
+            array = streams[column]
+            if column in as_codes:
+                col_codes, uniq, __f = factorize_array(array)
+                decoded = dictionaries[column].values
+                keys = [
+                    None if code < 0 else decoded[code]
+                    for code in uniq.tolist()
+                ]
+            elif encodings[column] == "int64":
+                col_codes, uniq, __f = factorize_array(array)
+                keys = uniq.tolist()
+            else:
+                # Float/object keys: Python-dict factorization replicates
+                # the serial grouping's hash/identity semantics exactly
+                # (signed zeros share a group, NaN objects do not).
+                col_codes, keys = factorize_values(array.tolist())
+            per_codes.append(col_codes)
+            per_keys.append(keys)
+        if len(key_cols) == 1:
+            codes = per_codes[0]
+            group_keys = per_keys[0]
+        else:
+            span = 1
+            for keys in per_keys:
+                span *= len(keys)
+            if span < 2**62:
+                combined = per_codes[0]
+                for col_codes, keys in zip(per_codes[1:], per_keys[1:]):
+                    combined = combined * len(keys) + col_codes
+                codes, __u, firsts = factorize_array(combined)
+                group_keys = [
+                    tuple(
+                        per_keys[j][int(per_codes[j][first])]
+                        for j in range(len(key_cols))
+                    )
+                    for first in firsts.tolist()
+                ]
+            else:  # cardinality product overflows: tuple-space dict
+                columns = [
+                    [keys[code] for code in col_codes.tolist()]
+                    for col_codes, keys in zip(per_codes, per_keys)
+                ]
+                codes, group_keys = factorize_values(list(zip(*columns)))
+    n_groups = len(group_keys)
+
+    # ---- fold every aggregate over the whole stream --------------------
+    # The stable-gather layout (bincount + argsort) depends only on the
+    # codes, so it is computed once and shared by every numeric fold.
+    layout = group_layout(codes, n_groups)
+    counts = layout[0].tolist()
+    code_list: list | None = None
+    folded: list = [None] * len(specs)
+    for i, (func, column) in enumerate(specs):
+        if column is None or func is AggFunc.COUNT:
+            continue  # COUNT folds entirely from the group sizes
+        array = streams[column]
+        kind = encodings[column]
+        if func is AggFunc.SUM or func is AggFunc.AVG:
+            if kind == "float64":
+                folded[i] = (
+                    "total",
+                    float_group_sums(array, codes, n_groups, layout=layout),
+                )
+            elif kind == "int64":
+                folded[i] = (
+                    "total",
+                    int_group_sums(array, codes, n_groups, layout=layout),
+                )
+            else:
+                if code_list is None:
+                    code_list = codes.tolist()
+                folded[i] = (
+                    "total",
+                    object_group_sums(array.tolist(), code_list, n_groups),
+                )
+        else:
+            maximum = func is AggFunc.MAX
+            slot = "maximum" if maximum else "minimum"
+            if kind in ("float64", "int64"):
+                folded[i] = (
+                    slot,
+                    minmax_group_fold(
+                        array, codes, n_groups, maximum, layout=layout
+                    ),
+                )
+            else:
+                if code_list is None:
+                    code_list = codes.tolist()
+                folded[i] = (
+                    slot,
+                    object_group_minmax(
+                        array.tolist(), code_list, n_groups, maximum
+                    ),
+                )
+
+    per_node["groups"] += n_groups
+    groups: dict = {}
+    for g in range(n_groups):
+        states = []
+        for i, (func, __column) in enumerate(specs):
+            state = _AggState(func)
+            state.count = counts[g]
+            if folded[i] is not None:
+                setattr(state, folded[i][0], folded[i][1][g])
+            states.append(state)
+        groups[group_keys[g]] = states
+    return groups, input_rows, grant
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -398,6 +652,20 @@ def _charge_streaming_stages(ctx, stages, scan_rows, stage_rows) -> None:
         consumed = stage_rows[position]
 
 
+def _resolver(values_of, group: ColumnGroup, sel):
+    """The mask kernels' column resolver: the group's column arrays
+    narrowed by the current selection vector (``sel is None`` = all rows).
+    Shared by the serial pipeline body and the forked morsel workers —
+    conjuncts re-resolve after every narrowing, preserving the serial
+    short-circuit."""
+
+    def resolve(column):
+        values = values_of(group, column)
+        return values if sel is None else values[sel]
+
+    return resolve
+
+
 def _zone_skips(conditions: tuple, group: ColumnGroup) -> bool:
     zones = group.zones
     for position, check in conditions:
@@ -431,10 +699,23 @@ def _mark_pipeline_completed(
 
 
 def _run_pipeline(
-    ctx: RuntimeContext, prep: _Prepared, key_positions: tuple[int, ...] | None
-) -> Iterator[tuple[Batch, list | None]]:
+    ctx: RuntimeContext,
+    prep: _Prepared,
+    key_positions: tuple[int, ...] | None,
+    *,
+    raw_keys: bool = False,
+    yield_groups: bool = False,
+) -> Iterator:
     """The columnar pipeline body: per group, zone-check then mask/take in
-    column space, materialise, run fallback kernels, yield."""
+    column space, materialise, run fallback kernels, yield.
+
+    Two column-space consumer modes skip row materialisation details:
+    ``raw_keys`` yields ``(batch, key_array)`` with the single key column
+    as a NumPy array (dictionary columns stay in code space) for the
+    vectorized join probe; ``yield_groups`` yields
+    ``(group, sel, survivors)`` triples for the vectorized aggregate —
+    both only offered by callers that verified the whole chain runs in
+    column space (``split == len(stages)``)."""
     config = ctx.config
     table = prep.table
     store = table.column_store(ctx.batch_size, config.columnar_dictionary_max)
@@ -523,12 +804,7 @@ def _run_pipeline(
                     # serial short-circuit (observable when a later
                     # conjunct raises, e.g. comparing a NULL).
                     for fn in stage.fn:
-
-                        def resolve(column, group=group, sel=sel):
-                            values = values_of(group, column)
-                            return values if sel is None else values[sel]
-
-                        mask = fn(resolve)
+                        mask = fn(_resolver(values_of, group, sel))
                         sel = _np.nonzero(mask)[0] if sel is None else sel[mask]
                         survivors = len(sel)
                         if survivors == 0:
@@ -538,6 +814,14 @@ def _run_pipeline(
                 if survivors == 0:
                     break
             if survivors == 0:
+                continue
+
+            if yield_groups:
+                # Column-space consumer: the narrowed group is the batch.
+                # The commit/charge interleaving matches the serial keyed
+                # path — the consumer sees the group at the same clock
+                # position a materialised batch would have arrived at.
+                yield group, sel, survivors
                 continue
 
             # -- materialise the region's output -----------------------
@@ -558,18 +842,24 @@ def _run_pipeline(
                 else:
                     batch = list(zip(*columns))
 
-            keys: list | None = None
+            keys: object = None
             if key_positions is not None:
-                key_columns = []
-                for pos in key_positions:
-                    values = values_of(group, prep.out_view[pos])
-                    key_columns.append(
-                        values.tolist() if full else values[sel].tolist()
-                    )
-                if len(key_columns) == 1:
-                    keys = key_columns[0]
+                if raw_keys:
+                    # Vectorized probe: the key column as a raw array
+                    # (dictionary codes included), no per-row decode.
+                    array = group.arrays[prep.out_view[key_positions[0]]]
+                    keys = array if full else array[sel]
                 else:
-                    keys = list(zip(*key_columns))
+                    key_columns = []
+                    for pos in key_positions:
+                        values = values_of(group, prep.out_view[pos])
+                        key_columns.append(
+                            values.tolist() if full else values[sel].tolist()
+                        )
+                    if len(key_columns) == 1:
+                        keys = key_columns[0]
+                    else:
+                        keys = list(zip(*key_columns))
 
             # -- fallback batch kernels above the region ----------------
             for stage in stages[split:]:
@@ -704,12 +994,7 @@ def _compile_runner(
             for stage in stages[:split]:
                 if stage.kind == "mask":
                     for fn in stage.fn:
-
-                        def resolve(column, group=group, sel=sel):
-                            values = values_of(group, column)
-                            return values if sel is None else values[sel]
-
-                        mask = fn(resolve)
+                        mask = fn(_resolver(values_of, group, sel))
                         sel = _np.nonzero(mask)[0] if sel is None else sel[mask]
                         survivors = len(sel)
                         if survivors == 0:

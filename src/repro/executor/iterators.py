@@ -527,7 +527,7 @@ class _AggState:
         """
         self.count += len(values)
         func = self.func
-        if func is AggFunc.COUNT:
+        if func is AggFunc.COUNT or not values:
             return
         if func is AggFunc.SUM or func is AggFunc.AVG:
             if _SUM_IS_LEFT_FOLD:
@@ -567,10 +567,12 @@ class _AggState:
         """Fold another partial state (from a later input run) into this one.
 
         Exact only when the aggregate's fold is associative down to the
-        bit: COUNT and integer SUM (integer addition regroups freely) and
-        MIN/MAX, whose strict comparisons keep the earlier occurrence just
-        like the serial fold.  Float SUM/AVG partials must not be merged —
-        the parallel pre-aggregation gate excludes them.
+        bit: COUNT, integer SUM/AVG totals (integer addition regroups
+        freely) and MIN/MAX, whose strict comparisons keep the earlier
+        occurrence just like the serial fold.  Float SUM/AVG partial
+        *totals* must never be merged — the parallel pre-aggregation
+        path ships their ordered value runs instead and performs one
+        exact left fold at the merge point (see executor.parallel).
         """
         self.count += other.count
         self.total += other.total

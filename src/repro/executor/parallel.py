@@ -71,10 +71,15 @@ Determinism contract — the whole point of the design:
 * **Aggregates**: worker partials merge in morsel order with
   :meth:`~repro.executor.iterators._AggState.merge`, so first-occurrence
   group order — which fixes the aggregate's output order — matches the
-  serial fold.  Float SUM/AVG never pre-aggregate: float addition is
-  non-associative, so regrouping additions across workers could change
-  output bytes on TPC-D's float measures; those pipelines ship rows and
-  fold serially in the parent, same as before.
+  serial fold.  Float SUM/AVG partial *totals* never merge (float
+  addition is non-associative, so regrouping additions across workers
+  could change output bytes on TPC-D's float measures); with
+  ``vectorized_agg`` those aggregates pre-aggregate anyway by shipping
+  per-group ordered value *runs* (:class:`_ValueRun`) — the single
+  argument column, not raw rows — which concatenate losslessly in morsel
+  order and fold once at the merge point with the exact left-fold kernel
+  (:func:`~repro.executor.agg_kernels.left_fold_sum`), bit-identical to
+  the serial accumulator.
 
 Platforms without ``fork`` (or a single-worker configuration) execute the
 same morsel loop in-process — identical results and charges, no speedup —
@@ -118,6 +123,7 @@ from ..storage.columnar import page_groups
 from ..storage.schema import DataType
 from ..storage.table import Row, Table
 from .collector import CollectorPartial, RuntimeCollector
+from .agg_kernels import left_fold_sum
 from .iterators import _AggState, aggregate_items, hash_join_keys, key_extractor
 from .loser_tree import merge_runs, row_comparator
 from .memory import MemoryManager
@@ -156,10 +162,53 @@ class _Stage:
 
 @dataclass
 class _PreAgg:
-    """Worker-side pre-aggregation fold, compiled in the parent."""
+    """Worker-side pre-aggregation fold, compiled in the parent.
+
+    ``run_flags`` is aligned with ``agg_items``: True marks aggregates
+    folded as :class:`_ValueRun` value runs (float SUM/AVG), False those
+    folded as :class:`~repro.executor.iterators._AggState` partials.
+    """
 
     get_key: Callable[[Row], object] | None
     agg_items: tuple
+    run_flags: tuple = ()
+
+
+class _ValueRun:
+    """Shipped partial for a float SUM/AVG: one group's non-NULL argument
+    values in pipeline row order, plus the all-rows count.
+
+    Float addition is non-associative, so float partial totals must not
+    merge — but ordered value runs concatenate losslessly (morsel order =
+    serial row order), and one exact left fold at the merge point
+    reproduces the serial accumulator bit for bit.  This is not raw-row
+    shipping: only the single argument column travels, and the pipeline's
+    output rows count as pre-aggregated, never as shipped.
+    """
+
+    __slots__ = ("func", "count", "values")
+
+    def __init__(self, func: AggFunc) -> None:
+        self.func = func
+        self.count = 0
+        self.values: list = []
+
+    def fold(self, values: list) -> None:
+        """Worker-side fold: count every argument (NULLs included, like
+        the serial ``update``), keep the non-NULLs in order."""
+        self.count += len(values)
+        self.values.extend(v for v in values if v is not None)
+
+    def merge(self, other: "_ValueRun") -> None:
+        self.count += other.count
+        self.values.extend(other.values)
+
+    def finalize(self) -> _AggState:
+        """The serial-identical aggregate state, folded at merge time."""
+        state = _AggState(self.func)
+        state.count = self.count
+        state.total = left_fold_sum(self.values)
+        return state
 
 
 @dataclass
@@ -316,14 +365,20 @@ def _fold_batch(groups: dict, batch: list[Row], preagg: _PreAgg) -> None:
         for key, row in zip(map(get_key, batch), batch):
             setdefault(key, []).append(row)
     agg_items = preagg.agg_items
+    run_flags = preagg.run_flags
     for key, rows_ in buckets.items():
         states = groups.get(key)
         if states is None:
-            states = [_AggState(func) for __, func, __unused in agg_items]
+            states = [
+                _ValueRun(func) if run else _AggState(func)
+                for (__, func, __unused), run in zip(agg_items, run_flags)
+            ]
             groups[key] = states
-        for state, (__, __f, arg_fn) in zip(states, agg_items):
+        for state, (__, __f, arg_fn), run in zip(states, agg_items, run_flags):
             if arg_fn is None:
                 state.count += len(rows_)  # COUNT(*): update(1) per row
+            elif run:
+                state.fold(list(map(arg_fn, rows_)))
             else:
                 state.update_batch(list(map(arg_fn, rows_)))
 
@@ -717,15 +772,17 @@ def morsel_preaggregate(
     pipeline produced no rows, matching the serial commit-after-loop
     timing) — or None when the aggregate must stay on the serial fold:
     pre-aggregation disabled, a non-leaf input pipeline, a table too small
-    to split, or any aggregate whose partials do not merge exactly (AVG,
-    and SUM over float inputs, where addition order changes output bytes).
+    to split, or any aggregate whose partials cannot travel exactly.
+    With ``vectorized_agg`` float SUM/AVG pre-aggregate as ordered value
+    runs (:class:`_ValueRun`); with it off they disqualify the aggregate
+    (partial float totals never merge), as before this knob existed.
     """
     if not ctx.config.parallel_preagg:
         return None
     extracted = _extract_chain(node.child)
     if extracted is None:
         return None
-    preagg = _preagg_spec(node)
+    preagg = _preagg_spec(node, ctx.config.vectorized_agg)
     if preagg is None:
         return None
     chain, scan = extracted
@@ -738,32 +795,45 @@ def morsel_preaggregate(
     )
 
 
-def _preagg_spec(node: HashAggregateNode) -> _PreAgg | None:
-    """The pre-aggregation fold when every aggregate merges exactly.
+def _preagg_spec(node: HashAggregateNode, vectorized: bool) -> _PreAgg | None:
+    """The pre-aggregation fold when every aggregate can travel exactly.
 
     COUNT partials are integer sums; MIN/MAX merge by (strict) comparison,
     which keeps the earlier occurrence exactly like the serial fold; SUM
     merges by addition, which is only associative — bit-for-bit — for
-    integers, so it is gated on the argument's inferred dtype.  AVG and
-    float SUM disqualify the whole aggregate (see module docstring).
+    integers, so state merging is gated on the argument's inferred dtype.
+    With ``vectorized`` (the ``vectorized_agg`` knob) float SUM/AVG ship
+    ordered value runs instead of totals and integer AVG merges its exact
+    integer total and count; with it off both disqualify the whole
+    aggregate, preserving the pre-knob gate.  Non-numeric SUM/AVG
+    arguments always stay on the serial fold.
     """
     child_schema = node.child.schema
     group_positions, agg_items, __ = aggregate_items(node)
+    run_flags = []
     for out_index, func, __arg in agg_items:
-        if func is AggFunc.COUNT:
-            continue
-        if func in (AggFunc.MIN, AggFunc.MAX):
+        if func is AggFunc.COUNT or func in (AggFunc.MIN, AggFunc.MAX):
+            run_flags.append(False)
             continue
         expr = node.output[out_index].expr
-        if (
-            func is AggFunc.SUM
-            and expr.arg is not None
-            and infer_dtype(expr.arg, child_schema) is DataType.INTEGER
-        ):
+        dtype = (
+            infer_dtype(expr.arg, child_schema)
+            if expr.arg is not None
+            else None
+        )
+        if func is AggFunc.SUM and dtype is DataType.INTEGER:
+            run_flags.append(False)
+            continue
+        if vectorized and dtype in (DataType.INTEGER, DataType.FLOAT):
+            # Integer AVG partials (total, count) merge exactly; float
+            # SUM/AVG ship value runs folded once at the merge point.
+            run_flags.append(dtype is DataType.FLOAT)
             continue
         return None
     get_key = key_extractor(group_positions) if group_positions else None
-    return _PreAgg(get_key=get_key, agg_items=agg_items)
+    return _PreAgg(
+        get_key=get_key, agg_items=agg_items, run_flags=tuple(run_flags)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1445,6 +1515,22 @@ def _run_preagg(
         ctx.mark_completed(pnode, stage_rows[position])
     input_rows = stage_rows[-1] if stages else scan_rows
     telemetry.rows_preaggregated += input_rows
+    if any(preagg.run_flags):
+        # Value runs are complete (morsel order = serial row order): one
+        # exact left fold per run turns them into serial-identical states.
+        # Pure compute after all charges — the clock never sees it.
+        for states in merged_groups.values():
+            for i, state_ in enumerate(states):
+                if type(state_) is _ValueRun:
+                    states[i] = state_.finalize()
+        vec = ctx.vector
+        vec.agg_pipelines += 1
+        vec.rows_folded += input_rows
+        per_node = vec.by_node.setdefault(
+            node.node_id, {"kind": "preagg-run", "rows_folded": 0, "groups": 0}
+        )
+        per_node["rows_folded"] += input_rows
+        per_node["groups"] += len(merged_groups)
     if tracer is not None:
         tracer.end(span, rows=input_rows, groups=len(merged_groups))
     return merged_groups, input_rows, grant

@@ -172,6 +172,29 @@ class ColumnarExecStats:
 
 
 @dataclass
+class VectorExecStats:
+    """Vectorized-kernel telemetry accumulated over one query run.
+
+    Counts where the NumPy group-by fold and join-probe kernels ran in
+    place of the per-row Python loops.  Purely observational: the kernels
+    are bit-identical to the serial folds, so these numbers explain
+    wall-clock wins and never simulated-cost differences.
+    """
+
+    #: Hash aggregates folded entirely by the vectorized kernels (the
+    #: columnar whole-stream fold or a run-shipping morsel pre-aggregation).
+    agg_pipelines: int = 0
+    #: Hash-join probe sides answered via the sorted build-key index.
+    probe_pipelines: int = 0
+    #: Input rows folded by vectorized aggregation kernels.
+    rows_folded: int = 0
+    #: Per-node breakdown keyed by plan-node id (aggregate nodes:
+    #: ``{"kind": "aggregate", "rows_folded", "groups"}``; join nodes:
+    #: ``{"kind": "probe", "rows_probed", "matches"}``).
+    by_node: dict[int, dict] = field(default_factory=dict)
+
+
+@dataclass
 class RuntimeContext:
     """Mutable state shared by all operators of one query execution."""
 
@@ -201,6 +224,8 @@ class RuntimeContext:
     parallel: ParallelExecStats = field(default_factory=ParallelExecStats)
     #: Columnar telemetry (populated by :mod:`repro.executor.columnar`).
     columnar: ColumnarExecStats = field(default_factory=ColumnarExecStats)
+    #: Vectorized-kernel telemetry (populated by the agg/probe kernels).
+    vector: VectorExecStats = field(default_factory=VectorExecStats)
     #: The query's total workspace budget in pages; the parallel executor
     #: bounds its in-flight morsel staging by what the allocation left free.
     memory_budget_pages: int = 0

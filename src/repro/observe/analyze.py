@@ -104,6 +104,11 @@ class NodeAnalysis:
     #: Skipped rows are exact free observations — already included in
     #: ``actual_rows``, so Q-error never counts them as missing.
     zone_map: dict | None = None
+    #: For nodes served by a vectorized kernel: the per-node counters
+    #: (``{"kind": "aggregate"|"preagg-run"|"probe", ...}`` with
+    #: ``rows_folded``/``groups`` for aggregates and
+    #: ``rows_probed``/``matches`` for probes), None otherwise.
+    vectorized: dict | None = None
     #: Shown when the node never completed: a mid-query switch abandoned
     #: the plan, or a consumer (e.g. LIMIT) stopped pulling early.
     not_run_note: str = "not executed"
@@ -150,6 +155,20 @@ class NodeAnalysis:
                 f"({rate:.0%}, {self.zone_map.get('pages_skipped', 0)} pages, "
                 f"{self.zone_map.get('rows_skipped', 0)} rows)"
             )
+        if self.vectorized is not None:
+            kind = self.vectorized.get("kind", "?")
+            if kind == "probe":
+                lines.append(
+                    f"{indent}    vectorized probe: "
+                    f"{self.vectorized.get('rows_probed', 0)} rows probed, "
+                    f"{self.vectorized.get('matches', 0)} matches"
+                )
+            else:
+                lines.append(
+                    f"{indent}    vectorized {kind}: "
+                    f"{self.vectorized.get('rows_folded', 0)} rows folded into "
+                    f"{self.vectorized.get('groups', 0)} groups"
+                )
         if self.collector is not None:
             lines.append(f"{indent}    {self.collector.format()}")
         return lines
@@ -330,6 +349,9 @@ def analyze_execution(
             per_scan = ctx.columnar.by_scan.get(node.node_id)
             if per_scan is not None:
                 node_analysis.zone_map = dict(per_scan)
+            per_vector = ctx.vector.by_node.get(node.node_id)
+            if per_vector is not None:
+                node_analysis.vectorized = dict(per_vector)
             if isinstance(node, StatsCollectorNode):
                 node_analysis.collector = _collector_insight(node, ctx, rows_q_error)
             analysis.nodes.append(node_analysis)

@@ -621,25 +621,38 @@ class TestEngineIntegration:
         assert db.plan_cache.stats.hits == after.hits + 1
 
     def test_execution_key_specializes_on_zone_toggles(self):
-        # parallel_workers pinned so a REPRO_WORKERS env leg cannot leak
-        # into the key's worker component.
-        base = EngineConfig(execution_mode="columnar", parallel_workers=0)
+        # parallel_workers and the vector knobs pinned so REPRO_WORKERS /
+        # REPRO_VECTOR_* env legs cannot leak into the key's components.
+        base = EngineConfig(
+            execution_mode="columnar",
+            parallel_workers=0,
+            vectorized_agg=True,
+            vectorized_probe=True,
+        )
         key = PlanCache.execution_key(base, "columnar", None)
-        assert key == "columnar/z1/charge/m1/w0"
+        assert key == "columnar/z1/charge/va1/vp1/m1/w0"
         no_skip = base.with_updates(zone_map_skipping=False)
         free = base.with_updates(zone_map_cost_mode="free")
         assert PlanCache.execution_key(no_skip, "columnar", None) != key
         assert PlanCache.execution_key(free, "columnar", None) != key
         assert PlanCache.execution_key(base, "batch", None) == "batch"
+        # The vector knobs specialize columnar entries too.
+        no_vec_agg = base.with_updates(vectorized_agg=False)
+        no_vec_probe = base.with_updates(vectorized_probe=False)
+        assert (
+            PlanCache.execution_key(no_vec_agg, "columnar", None)
+            == "columnar/z1/charge/va0/vp1/m1/w0"
+        )
+        assert PlanCache.execution_key(no_vec_probe, "columnar", None) != key
         # The columnar-morsel fan-out (and its worker count) specializes too.
         serial_kernels = base.with_updates(columnar_parallel=False)
         assert (
             PlanCache.execution_key(serial_kernels, "columnar", None)
-            == "columnar/z1/charge/m0"
+            == "columnar/z1/charge/va1/vp1/m0"
         )
         assert (
             PlanCache.execution_key(base, "columnar", 4)
-            == "columnar/z1/charge/m1/w4"
+            == "columnar/z1/charge/va1/vp1/m1/w4"
         )
 
     def test_metrics_counters_recorded(self):

@@ -425,8 +425,11 @@ class TestPartitionedSpill:
         )
         assert all(count >= 0 for count in spill_counters)
         if ctx.parallel.morsels_spilled:
-            assert ctx.parallel.rows_spilled > 0
             assert ctx.parallel.partitions_spilled >= 1
+            # Q1 pre-aggregates (value-run shipping covers its float
+            # SUM/AVG), so spilled results hold group partials, not rows.
+            if ctx.parallel.rows_shipped:
+                assert ctx.parallel.rows_spilled > 0
         assert_bit_identical(result, ctx, batch_result, batch_ctx)
 
 

@@ -1,0 +1,485 @@
+"""Vectorized aggregation & join-probe kernels: bit-exact float parity.
+
+The contract under test (DESIGN.md section 13): the NumPy group-by fold
+kernels in ``executor/agg_kernels.py`` reproduce the serial accumulator
+byte-for-byte — including non-associative float SUM/AVG, signed zeros,
+infinities and NaN — so the columnar path aggregates entirely in column
+space and the parallel path pre-aggregates float SUM/AVG as ordered value
+runs instead of shipping raw rows.  Plus the searchsorted join-probe
+kernel's exact emission-order parity, and the ``vectorized_agg`` /
+``vectorized_probe`` knobs that disable each independently.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro import Database, DataType, DynamicMode, EngineConfig
+from repro.bench import ExperimentConfig, build_database
+from repro.executor.iterators import _AggState
+from repro.executor.parallel import _ValueRun
+from repro.plans.logical import AggFunc
+from repro.storage.columnar import numpy_available
+
+from .test_columnar import assert_bit_identical, dispatch
+
+np = pytest.importorskip("numpy")
+
+from repro.executor import agg_kernels  # noqa: E402  (needs numpy)
+from repro.executor.agg_kernels import (  # noqa: E402
+    ProbeIndex,
+    factorize_array,
+    factorize_values,
+    float_group_sums,
+    group_counts,
+    int_group_sums,
+    kernels_available,
+    left_fold_sum,
+    minmax_group_fold,
+    object_group_minmax,
+    object_group_sums,
+)
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="vectorized kernels require numpy"
+)
+
+
+def bits(x: float) -> bytes:
+    """The exact 8 bytes of a float — -0.0 != 0.0, NaN payloads compared."""
+    return struct.pack("<d", x)
+
+
+def serial_sum(values):
+    """The serial accumulator verbatim: int 0 start, NULLs skipped."""
+    total = 0
+    for v in values:
+        if v is not None:
+            total += v
+    return total
+
+
+ADVERSARIAL = [
+    1e300, -1e300, 0.1, -0.1, 1e-300, -1e-300, -0.0, 0.0,
+    1.0, -1.0, 1e16, 1.0 + 2**-52, 0.3333333333333333, 2.5,
+]
+
+
+# ----------------------------------------------------------------------
+# Fold kernels (satellite: edge cases with bit parity)
+# ----------------------------------------------------------------------
+
+
+class TestFloatSums:
+    def test_kernels_probe_passed(self):
+        assert kernels_available()
+
+    def test_random_groups_bit_parity(self):
+        rng = random.Random(42)
+        for __trial in range(60):
+            n_groups = rng.randrange(1, 9)
+            n = rng.randrange(n_groups, 400)
+            codes = [rng.randrange(n_groups) for i in range(n)]
+            for g in range(n_groups):  # every group owns >= 1 row
+                codes[g] = g
+            values = [rng.choice(ADVERSARIAL) for __ in range(n)]
+            got = float_group_sums(
+                np.asarray(values, dtype=np.float64),
+                np.asarray(codes, dtype=np.int64),
+                n_groups,
+            )
+            for g in range(n_groups):
+                expect = serial_sum(v for c, v in zip(codes, values) if c == g)
+                assert bits(got[g]) == bits(expect)
+
+    def test_single_row_groups(self):
+        values = np.asarray([-0.0, 1e300, -1e-300], dtype=np.float64)
+        codes = np.asarray([0, 1, 2], dtype=np.int64)
+        got = float_group_sums(values, codes, 3)
+        # Serial starts each group at int 0, so 0 + -0.0 == +0.0.
+        assert bits(got[0]) == bits(0.0)
+        assert bits(got[1]) == bits(1e300)
+        assert bits(got[2]) == bits(-1e-300)
+
+    def test_all_rows_one_group(self):
+        rng = random.Random(7)
+        values = [rng.choice(ADVERSARIAL) for __ in range(257)]
+        got = float_group_sums(
+            np.asarray(values, dtype=np.float64),
+            np.zeros(len(values), dtype=np.int64),
+            1,
+        )
+        assert bits(got[0]) == bits(serial_sum(values))
+
+    def test_overflow_to_inf_matches_serial(self):
+        values = np.asarray([1e308, 1e308, -1e308], dtype=np.float64)
+        codes = np.zeros(3, dtype=np.int64)
+        # Serial: 1e308 + 1e308 -> inf, inf + -1e308 -> inf.
+        assert float_group_sums(values, codes, 1) == [serial_sum(values.tolist())]
+        mixed = np.asarray([1e308, 1e308, float("-inf")], dtype=np.float64)
+        got = float_group_sums(mixed, codes, 1)[0]
+        assert np.isnan(got)  # inf + -inf, like the serial fold
+
+    def test_counts_are_exact_powers_of_two(self):
+        # Boundary lengths around the pow-2 size classes, one group each.
+        lengths = [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65]
+        values, codes = [], []
+        rng = random.Random(3)
+        for g, length in enumerate(lengths):
+            run = [rng.choice(ADVERSARIAL) for __ in range(length)]
+            values.extend(run)
+            codes.extend([g] * length)
+        got = float_group_sums(
+            np.asarray(values, dtype=np.float64),
+            np.asarray(codes, dtype=np.int64),
+            len(lengths),
+        )
+        for g in range(len(lengths)):
+            expect = serial_sum(v for c, v in zip(codes, values) if c == g)
+            assert bits(got[g]) == bits(expect)
+
+
+class TestIntAndObjectSums:
+    def test_int_sums_exact(self):
+        values = np.asarray([2**40, -(2**40), 17, 1], dtype=np.int64)
+        codes = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        assert int_group_sums(values, codes, 2) == [0, 18]
+
+    def test_int_overflow_falls_back_to_object(self):
+        # Partial sums would wrap int64; the object-dtype fold keeps
+        # arbitrary-precision Python ints, exactly like serial.
+        big = 2**62
+        values = np.asarray([big, big, big], dtype=np.int64)
+        codes = np.zeros(3, dtype=np.int64)
+        assert int_group_sums(values, codes, 1) == [3 * big]
+
+    def test_object_sums_null_only_group(self):
+        # All-NULL group keeps the serial int-0 start; NULLs skip.
+        totals = object_group_sums([None, 5, None, 2.5], [0, 1, 0, 1], 2)
+        assert totals[0] == 0 and type(totals[0]) is int
+        assert totals[1] == 7.5
+
+    def test_empty_input(self):
+        assert object_group_sums([], [], 0) == []
+        assert group_counts(np.asarray([], dtype=np.int64), 0) == []
+
+
+class TestMinMaxFolds:
+    def test_signed_zero_keeps_first(self):
+        values = np.asarray([-0.0, 0.0, 0.0, -0.0], dtype=np.float64)
+        codes = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        # Serial strict < / > keeps the first occurrence on ties.
+        assert bits(minmax_group_fold(values, codes, 2, False)[0]) == bits(-0.0)
+        assert bits(minmax_group_fold(values, codes, 2, True)[0]) == bits(-0.0)
+        assert bits(minmax_group_fold(values, codes, 2, False)[1]) == bits(0.0)
+        assert bits(minmax_group_fold(values, codes, 2, True)[1]) == bits(0.0)
+
+    def test_nan_matches_serial_keep_first(self):
+        nan = float("nan")
+        for run in ([nan, 1.0, 2.0], [1.0, nan, 2.0], [2.0, 1.0, nan], [nan]):
+            values = np.asarray(run, dtype=np.float64)
+            codes = np.zeros(len(run), dtype=np.int64)
+            for maximum in (False, True):
+                got = minmax_group_fold(values, codes, 1, maximum)[0]
+                best = None
+                for v in run:
+                    if best is None or (v > best if maximum else v < best):
+                        best = v
+                assert bits(got) == bits(best)
+
+    def test_object_minmax_null_only_group(self):
+        assert object_group_minmax([None, None], [0, 0], 1, False) == [None]
+        assert object_group_minmax([None, 3], [0, 0], 1, True) == [3]
+
+
+class TestFactorization:
+    def test_first_occurrence_order(self):
+        codes, keys, firsts = factorize_array(
+            np.asarray([7, 3, 7, 9, 3], dtype=np.int64)
+        )
+        assert codes.tolist() == [0, 1, 0, 2, 1]
+        assert keys.tolist() == [7, 3, 9]
+        assert firsts.tolist() == [0, 1, 3]
+
+    def test_values_replicate_serial_dict_semantics(self):
+        nan_a, nan_b = float("nan"), float("nan")
+        seq = [nan_a, 0.0, nan_b, -0.0, nan_a]
+        codes, keys = factorize_values(seq)
+        # Each distinct NaN object is its own group; the same object
+        # repeats its group.  0.0 and -0.0 share the first-seen key.
+        assert codes.tolist() == [0, 1, 2, 1, 0]
+        assert keys[0] is nan_a and keys[2] is nan_b
+        assert bits(keys[1]) == bits(0.0)
+
+
+class TestLeftFoldSum:
+    def test_matches_serial_and_keeps_types(self):
+        rng = random.Random(5)
+        floats = [rng.choice(ADVERSARIAL) for __ in range(333)]
+        assert bits(left_fold_sum(floats)) == bits(serial_sum(floats))
+        ints = list(range(100))
+        total = left_fold_sum(ints)
+        assert total == sum(ints) and type(total) is int
+        mixed = [1, 2.5] * 20
+        assert left_fold_sum(mixed) == serial_sum(mixed)
+        assert left_fold_sum([]) == 0 and type(left_fold_sum([])) is int
+
+    def test_long_adversarial_cancellation(self):
+        values = [1e16, 1.0, -1e16, 1.0] * 64
+        assert bits(left_fold_sum(values)) == bits(serial_sum(values))
+
+
+# ----------------------------------------------------------------------
+# _AggState.merge and _ValueRun (parallel partials)
+# ----------------------------------------------------------------------
+
+
+class TestAggStateMerge:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [None, None, None],          # NULL-only
+            [7],                         # single row
+            [],                          # empty split half
+            [3, None, 9, 1, None, 5, 2],
+            [2**62, 2**62, 2**62],       # big-int totals stay exact
+        ],
+        ids=["null-only", "single", "empty", "mixed", "bigint"],
+    )
+    def test_merge_matches_serial_fold(self, values):
+        for func in (AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX):
+            for split in range(len(values) + 1):
+                serial = _AggState(func)
+                serial.update_batch(values)
+                left, right = _AggState(func), _AggState(func)
+                left.update_batch(values[:split])
+                right.update_batch(values[split:])
+                left.merge(right)
+                assert left.count == serial.count
+                assert left.result() == serial.result()
+
+    def test_value_run_finalize_is_bit_exact(self):
+        rng = random.Random(9)
+        values = [
+            None if rng.random() < 0.2 else rng.choice(ADVERSARIAL)
+            for __ in range(500)
+        ]
+        for func in (AggFunc.SUM, AggFunc.AVG):
+            serial = _AggState(func)
+            serial.update_batch(values)
+            runs = []
+            for split in (0, 120, 121, 400, len(values)):
+                run = _ValueRun(func)
+                run.fold(values[:split] if not runs else values[prev:split])
+                prev = split
+                runs.append(run)
+            merged, prev = _ValueRun(func), 0
+            for split in (0, 120, 121, 400, len(values)):
+                run = _ValueRun(func)
+                run.fold(values[prev:split])
+                prev = split
+                merged.merge(run)
+            state = merged.finalize()
+            assert state.count == serial.count
+            got, expect = state.result(), serial.result()
+            if expect is None:
+                assert got is None
+            else:
+                assert bits(float(got)) == bits(float(expect))
+
+    def test_value_run_null_only_and_empty(self):
+        run = _ValueRun(AggFunc.SUM)
+        run.fold([None, None])
+        state = run.finalize()
+        assert state.count == 2 and state.total == 0
+        assert state.result() == 0  # serial: count > 0, int-0 total
+        empty = _ValueRun(AggFunc.AVG).finalize()
+        assert empty.count == 0 and empty.result() is None
+
+
+# ----------------------------------------------------------------------
+# ProbeIndex (vectorized join probe)
+# ----------------------------------------------------------------------
+
+
+class TestProbeIndex:
+    def test_matches_serial_probe_order(self):
+        rng = random.Random(13)
+        hash_table = {}
+        row_id = 0
+        for key in rng.sample(range(50), 30):
+            hash_table[key] = [
+                (key, f"b{row_id + i}") for i in range(rng.randrange(1, 4))
+            ]
+            row_id += len(hash_table[key])
+        index = ProbeIndex.from_int_keys(hash_table)
+        assert index is not None
+        probe_keys = [rng.randrange(60) for __ in range(200)]
+        batch = [(k, i) for i, k in enumerate(probe_keys)]
+        got = index.probe(np.asarray(probe_keys, dtype=np.int64), batch)
+        expect = []
+        for row in batch:
+            for build_row in hash_table.get(row[0], ()):
+                expect.append(build_row + row)
+        assert got == expect
+
+    def test_rejects_non_int_build_keys(self):
+        # bool/float equal ints under Python == but not under int64
+        # compare — any such key disables the kernel entirely.
+        assert ProbeIndex.from_int_keys({True: [(1,)]}) is None
+        assert ProbeIndex.from_int_keys({2.0: [(1,)]}) is None
+        assert ProbeIndex.from_int_keys({2**70: [(1,)]}) is None
+
+    def test_dict_keys_null_and_absent(self):
+        class Dictionary:
+            codes = {"red": 0, "blue": 1}
+
+        hash_table = {
+            "blue": [("blue", 1)],
+            None: [(None, 2)],        # NULL probe codes (-1) match it, like
+            #                           the serial dict's None == None lookup
+            "green": [("green", 3)],  # absent from the dictionary: no match
+        }
+        index = ProbeIndex.from_dict_keys(hash_table, Dictionary())
+        assert index is not None
+        codes = np.asarray([1, -1, 0, 1], dtype=np.int64)
+        batch = [("blue", 10), (None, 11), ("red", 12), ("blue", 13)]
+        got = index.probe(codes, batch)
+        expect = []
+        for code_key, row in zip(["blue", None, "red", "blue"], batch):
+            for build_row in hash_table.get(code_key, ()):
+                expect.append(build_row + row)
+        assert got == expect
+        assert (None, 2, None, 11) in got  # serial None == None semantics
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity: float aggregates across modes, sizes, workers
+# ----------------------------------------------------------------------
+
+
+def _float_db(batch_size: int = 64, rows: int = 900) -> Database:
+    # morsel_pages=2 so the parallel scheduler can split even this small
+    # table (the default 64-page morsels need a much larger one).
+    db = Database(EngineConfig(batch_size=batch_size, morsel_pages=2))
+    db.create_table(
+        "m",
+        [
+            ("g", DataType.INTEGER),
+            ("h", DataType.STRING),
+            ("x", DataType.FLOAT),
+            ("y", DataType.INTEGER),
+        ],
+    )
+    rng = random.Random(11)
+    db.load_rows(
+        "m",
+        [
+            (i % 7, f"s{i % 5}", rng.choice(ADVERSARIAL), i % 13)
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+FLOAT_AGG_QUERIES = [
+    "SELECT g, SUM(x), AVG(x), COUNT(*) FROM m GROUP BY g",
+    "SELECT AVG(x), SUM(x) FROM m",
+    "SELECT h, SUM(x), MIN(x), MAX(x) FROM m WHERE y < 9 GROUP BY h",
+    "SELECT g, h, SUM(x) FROM m WHERE g < 5 GROUP BY g, h",
+]
+
+
+class TestEndToEndFloatParity:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 1024])
+    def test_columnar_parity_at_any_page_group_size(self, batch_size):
+        db = _float_db(batch_size=batch_size)
+        for sql in FLOAT_AGG_QUERIES:
+            plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+            batch_result, batch_ctx = dispatch(db, plan, "batch")
+            col_result, col_ctx = dispatch(db, plan, "columnar")
+            row_result, row_ctx = dispatch(db, plan, "row")
+            assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+            assert row_result.rows == batch_result.rows
+            assert row_ctx.clock.now == batch_ctx.clock.now
+
+    def test_columnar_uses_vector_kernels(self):
+        db = _float_db()
+        sql = FLOAT_AGG_QUERIES[0]
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        __, ctx = dispatch(db, plan, "columnar")
+        assert ctx.vector.agg_pipelines == 1
+        assert ctx.vector.rows_folded > 0
+        # Knob off: same bytes, no kernel use.
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        off_result, off_ctx = dispatch(db, plan, "columnar", vectorized_agg=False)
+        assert off_ctx.vector.agg_pipelines == 0
+        assert_bit_identical(off_result, off_ctx, batch_result, batch_ctx)
+
+    @pytest.mark.parametrize("workers", (1, 2, 7))
+    def test_parallel_float_preagg_ships_no_rows(self, workers):
+        db = _float_db()
+        for sql in FLOAT_AGG_QUERIES:
+            plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+            batch_result, batch_ctx = dispatch(db, plan, "batch")
+            result, ctx = dispatch(db, plan, "parallel", parallel_workers=workers)
+            assert ctx.parallel.preagg_pipelines == 1
+            # The telemetry contract of the lifted gate: float SUM/AVG
+            # pre-aggregate as value runs — zero raw rows shipped.
+            assert ctx.parallel.rows_shipped == 0
+            assert ctx.parallel.rows_preaggregated > 0
+            assert_bit_identical(result, ctx, batch_result, batch_ctx)
+
+    def test_dictionary_overflow_groups_through_object_path(self):
+        # > columnar_dictionary_max distinct strings demote the column to
+        # object encoding; group-by on it must still hold byte parity.
+        db = Database(EngineConfig(batch_size=32, columnar_dictionary_max=16))
+        db.create_table(
+            "t", [("s", DataType.STRING), ("x", DataType.FLOAT)]
+        )
+        rng = random.Random(21)
+        db.load_rows(
+            "t",
+            [(f"k{i % 40}", rng.choice(ADVERSARIAL)) for i in range(600)],
+        )
+        sql = "SELECT s, SUM(x), COUNT(*) FROM t GROUP BY s"
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        col_result, col_ctx = dispatch(db, plan, "columnar")
+        assert_bit_identical(col_result, col_ctx, batch_result, batch_ctx)
+
+    def test_probe_kernel_parity_and_knob(self):
+        db = build_database(ExperimentConfig(scale_factor=0.01))
+        sql = (
+            "SELECT o_orderkey, l_extendedprice FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey AND o_custkey < 300"
+        )
+        plan, __scia, __opt = db.plan(sql, mode=DynamicMode.FULL)
+        batch_result, batch_ctx = dispatch(db, plan, "batch")
+        on_result, on_ctx = dispatch(db, plan, "columnar")
+        off_result, off_ctx = dispatch(db, plan, "columnar", vectorized_probe=False)
+        assert on_ctx.vector.probe_pipelines >= 1
+        assert off_ctx.vector.probe_pipelines == 0
+        assert_bit_identical(on_result, on_ctx, batch_result, batch_ctx)
+        assert_bit_identical(off_result, off_ctx, batch_result, batch_ctx)
+
+    def test_profile_and_metrics_surface_vector_counters(self):
+        from repro.observe.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        db = Database(
+            EngineConfig(batch_size=64, execution_mode="columnar"),
+            metrics=registry,
+        )
+        db.create_table("t", [("g", DataType.INTEGER), ("x", DataType.FLOAT)])
+        db.load_rows("t", [(i % 5, float(i) * 0.1) for i in range(400)])
+        result = db.execute("SELECT g, SUM(x) FROM t GROUP BY g")
+        assert result.profile.vectorized_agg_pipelines == 1
+        assert result.profile.rows_folded > 0
+        assert "vectorized:" in result.profile.summary()
+        snap = registry.snapshot()
+        assert snap["vector.agg_pipelines"]["value"] >= 1
+        assert snap["vector.rows_folded"]["value"] > 0
