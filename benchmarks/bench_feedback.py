@@ -1,0 +1,295 @@
+"""Closing the loop: cross-query feedback on a repeated TPC-D workload.
+
+PR 10's tentpole benchmark.  A TPC-D workload (order-exact variants of Q3,
+Q7 and Q10 — COUNT/MIN/MAX plus integer SUMs with a total ORDER BY, so
+results are byte-comparable) runs repeatedly on ONE engine whose catalog
+statistics are badly stale (``CatalogProfile.STALE``): the fact tables
+grew 10x and a dimension shrank 10x since the last ANALYZE.  The engine
+runs in FULL dynamic mode with the persistent feedback repository enabled.
+
+* **Pass 1 (cold)** — the optimizer plans from the stale histograms, the
+  paper's mid-query machinery catches the misestimates it can, and the
+  repository absorbs one record per completed plan fragment.
+* **Warm-up passes** — the loop closes: corrected estimates change plans,
+  new plans produce new observations (including through plan switches —
+  temp tables resolve back to the subtree they materialized), until the
+  engine reaches a fixed point (two identical passes with no switches).
+* **Pass 2 (warm)** — the first pass executed entirely against the warm
+  store, measured like pass 1.
+
+Gates (``learning_gate``): the warm pass must need *fewer* mid-query
+re-optimizations and show *lower* aggregate (geomean worst-fragment)
+Q-error than the cold pass.  Byte-identity is asserted unconditionally:
+every pass — and a feedback-disabled reference engine — must produce
+identical rows, query by query; a learning run with different answers is
+a bug, not a data point.
+
+Results go to ``BENCH_feedback.json`` at the repository root and
+``results/feedback.txt``.  Runs under pytest
+(``pytest benchmarks/bench_feedback.py``) or as a script::
+
+    python benchmarks/bench_feedback.py [--smoke] [--scale 0.02]
+                                        [--max-passes 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+
+from repro import Database, DynamicMode, MetricsRegistry
+from repro.bench import ExperimentConfig, stamp_document
+from repro.workloads.tpcd import CatalogProfile, generate_tpcd
+
+SCALE_FACTOR = 0.02
+SMOKE_SCALE_FACTOR = 0.005
+MAX_PASSES = 16
+SMOKE_MAX_PASSES = 4
+MEMORY_PAGES = 192
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_feedback.json"
+
+#: Order-exact TPC-D variants: aggregates are restricted to COUNT/MIN/MAX
+#: and SUM over INTEGER columns, and every query ends in a total ORDER BY
+#: over its group keys, so two executions are comparable byte for byte.
+QUERIES = {
+    "Q3": (
+        "SELECT l_orderkey, count(*) AS n, min(l_extendedprice) AS lo, "
+        "max(l_extendedprice) AS hi "
+        "FROM customer, orders, lineitem "
+        "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+        "AND l_orderkey = o_orderkey "
+        "AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15' "
+        "GROUP BY l_orderkey ORDER BY l_orderkey"
+    ),
+    "Q7": (
+        "SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+        "count(*) AS n, sum(l_orderkey) AS key_mass "
+        "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+        "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+        "AND c_custkey = o_custkey "
+        "AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey "
+        "AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY') "
+        "OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')) "
+        "AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' "
+        "GROUP BY n1.n_name, n2.n_name ORDER BY supp_nation, cust_nation"
+    ),
+    "Q10": (
+        "SELECT c_custkey, count(*) AS n, max(l_extendedprice) AS hi "
+        "FROM customer, orders, lineitem, nation "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01' "
+        "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+        "GROUP BY c_custkey ORDER BY c_custkey"
+    ),
+}
+
+
+def _experiment(scale_factor: float, feedback: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale_factor=scale_factor,
+        catalog=CatalogProfile.STALE,
+        memory_pages=MEMORY_PAGES,
+        feedback=feedback,
+    )
+
+
+def _build_database(scale_factor: float, feedback: bool) -> Database:
+    exp = _experiment(scale_factor, feedback)
+    db = Database(exp.engine_config(), metrics=MetricsRegistry())
+    generate_tpcd(db, exp.tpcd_config())
+    return db
+
+
+def _run_pass(db: Database) -> dict:
+    """Execute the workload once; per-pass telemetry plus the raw rows."""
+    per_query = {}
+    rows = {}
+    worst_qs = []
+    for name, sql in QUERIES.items():
+        result = db.execute(sql, mode=DynamicMode.FULL)
+        profile = result.profile
+        rows[name] = result.rows
+        worst_qs.append(max(profile.feedback_worst_q_error, 1.0))
+        per_query[name] = {
+            "plan_switches": profile.plan_switches,
+            "feedback_corrections": profile.feedback_corrections,
+            "worst_q_error": round(profile.feedback_worst_q_error, 3),
+            "simulated_cost": round(profile.total_cost, 1),
+        }
+    geomean = math.exp(sum(math.log(q) for q in worst_qs) / len(worst_qs))
+    return {
+        "queries": per_query,
+        "plan_switches": sum(q["plan_switches"] for q in per_query.values()),
+        "geomean_q_error": round(geomean, 3),
+        "simulated_cost": round(
+            sum(q["simulated_cost"] for q in per_query.values()), 1
+        ),
+        "_rows": rows,
+    }
+
+
+def _fingerprint(tick: dict) -> tuple:
+    """Plan-space state of one pass: identical fingerprints mean the
+    optimizer made identical decisions (a fixed point of the loop)."""
+    return tuple(
+        (name, q["plan_switches"], q["simulated_cost"])
+        for name, q in sorted(tick["queries"].items())
+    )
+
+
+def run_benchmark(
+    scale_factor: float = SCALE_FACTOR,
+    max_passes: int = MAX_PASSES,
+    enforce_gate: bool = True,
+) -> dict:
+    """Repeated workload on one learning engine vs its own cold pass."""
+    # Reference rows from an engine with feedback disabled: the learning
+    # engine must agree with it on EVERY pass (zero result perturbation).
+    reference = _build_database(scale_factor, feedback=False)
+    reference_rows = {
+        name: reference.execute(sql, mode=DynamicMode.FULL).rows
+        for name, sql in QUERIES.items()
+    }
+
+    db = _build_database(scale_factor, feedback=True)
+    passes = []
+    converged = False
+    for index in range(max_passes):
+        tick = _run_pass(db)
+        for name, rows in tick.pop("_rows").items():
+            assert rows == reference_rows[name], (
+                f"pass {index + 1} of {name} diverged from the "
+                "feedback-disabled reference rows"
+            )
+        tick["pass"] = index + 1
+        passes.append(tick)
+        if (
+            index >= 1
+            and tick["plan_switches"] == 0
+            and _fingerprint(tick) == _fingerprint(passes[-2])
+        ):
+            converged = True
+            break
+
+    cold, warm = passes[0], passes[-1]
+    fewer_switches = warm["plan_switches"] < cold["plan_switches"]
+    lower_q_error = warm["geomean_q_error"] < cold["geomean_q_error"]
+    report = db.feedback_report()
+    document = {
+        "scale_factor": scale_factor,
+        "memory_pages": MEMORY_PAGES,
+        "catalog": "stale",
+        "queries": sorted(QUERIES),
+        "metric": (
+            "mid-query plan switches and geomean worst-fragment Q-error, "
+            "cold pass vs first pass at the learned fixed point"
+        ),
+        "passes": passes,
+        "cold_pass": cold,
+        "warm_pass": warm,
+        "converged": converged,
+        "byte_identical": True,  # asserted above, unconditionally
+        "store": {
+            "records": report.get("record_count", len(report.get("records", []))),
+            "edges": report.get("edge_count", 0),
+            "queries_absorbed": report.get("queries_absorbed", 0),
+        },
+        "learning_gate": {
+            "fewer_switches": fewer_switches,
+            "lower_q_error": lower_q_error,
+            "cold_switches": cold["plan_switches"],
+            "warm_switches": warm["plan_switches"],
+            "cold_geomean_q_error": cold["geomean_q_error"],
+            "warm_geomean_q_error": warm["geomean_q_error"],
+            "enforced": enforce_gate,
+            "reason": "enforced" if enforce_gate else "skipped: smoke run",
+        },
+    }
+    return stamp_document(document, {"learning_gate": 0})
+
+
+def _render(document: dict) -> str:
+    lines = [
+        "Cross-query feedback on a repeated stale-catalog TPC-D workload "
+        f"(sf={document['scale_factor']}, {len(document['queries'])} queries, "
+        f"{document['memory_pages']} pages)",
+        f"{'pass':>5}{'switches':>10}{'geomean q':>11}{'sim cost':>12}  per query",
+    ]
+    for tick in document["passes"]:
+        detail = " | ".join(
+            f"{name}: sw={q['plan_switches']} q={q['worst_q_error']:.0f}"
+            for name, q in sorted(tick["queries"].items())
+        )
+        lines.append(
+            f"{tick['pass']:>5}{tick['plan_switches']:>10}"
+            f"{tick['geomean_q_error']:>11.1f}{tick['simulated_cost']:>12.0f}"
+            f"  {detail}"
+        )
+    gate = document["learning_gate"]
+    lines.append(
+        f"gate: switches {gate['cold_switches']} -> {gate['warm_switches']}, "
+        f"geomean Q-error {gate['cold_geomean_q_error']:.1f} -> "
+        f"{gate['warm_geomean_q_error']:.1f} "
+        f"({gate['reason']}); converged={document['converged']}, "
+        f"byte_identical={document['byte_identical']}, "
+        f"store: {document['store']['records']} records / "
+        f"{document['store']['edges']} edges"
+    )
+    return "\n".join(lines)
+
+
+def _assert_document(document: dict) -> None:
+    assert document["byte_identical"]
+    if document["learning_gate"]["enforced"]:
+        gate = document["learning_gate"]
+        assert document["converged"], (
+            "the learning loop did not reach a fixed point within the pass "
+            "budget"
+        )
+        assert gate["fewer_switches"], (
+            f"warm pass needed {gate['warm_switches']} mid-query "
+            f"re-optimizations, cold pass {gate['cold_switches']}"
+        )
+        assert gate["lower_q_error"], (
+            f"warm geomean Q-error {gate['warm_geomean_q_error']} not below "
+            f"cold {gate['cold_geomean_q_error']}"
+        )
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny scale + few passes; learning gate reported but not enforced",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--max-passes", type=int, default=None)
+    return parser.parse_args(argv)
+
+
+def test_feedback_learning(results_dir):
+    from conftest import write_result
+
+    document = run_benchmark()
+    JSON_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    write_result(results_dir, "feedback", _render(document))
+    _assert_document(document)
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    scale = args.scale if args.scale is not None else (
+        SMOKE_SCALE_FACTOR if args.smoke else SCALE_FACTOR
+    )
+    max_passes = args.max_passes if args.max_passes is not None else (
+        SMOKE_MAX_PASSES if args.smoke else MAX_PASSES
+    )
+    doc = run_benchmark(scale, max_passes, enforce_gate=not args.smoke)
+    print(_render(doc))
+    _assert_document(doc)
+    if not args.smoke:
+        JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote {JSON_PATH}")

@@ -150,6 +150,33 @@ def _default_server_worker_mode() -> str:
     return os.environ.get("REPRO_SERVER_WORKER_MODE", "thread")
 
 
+def _default_feedback() -> bool:
+    """Feedback-repository default (``REPRO_FEEDBACK``): *off* unless
+    enabled — feedback deliberately changes future plans (that is its
+    job), so unlike the purely observational knobs it is opt-in."""
+    return os.environ.get("REPRO_FEEDBACK", "") not in ("", "0", "false", "False")
+
+
+def _default_feedback_path() -> str:
+    """Feedback-store location default (``REPRO_FEEDBACK_PATH``); empty
+    string keeps the repository in memory only."""
+    return os.environ.get("REPRO_FEEDBACK_PATH", "")
+
+
+def _default_slow_query_s() -> float:
+    """Slow-query threshold default (``REPRO_SLOW_QUERY``); 0 disables."""
+    try:
+        return float(os.environ.get("REPRO_SLOW_QUERY", "0") or 0.0)
+    except ValueError:
+        return 0.0
+
+
+def _default_slow_query_path() -> str:
+    """Slow-query log destination default (``REPRO_SLOW_QUERY_PATH``);
+    empty string writes to stderr."""
+    return os.environ.get("REPRO_SLOW_QUERY_PATH", "")
+
+
 @dataclass(frozen=True)
 class CostParameters:
     """Unit costs for the simulated execution clock.
@@ -392,6 +419,38 @@ class EngineConfig:
     #: charges it, so rows/costs/statistics are byte-identical with tracing
     #: on or off.  When enabled the trace rides on ``profile.trace``.
     tracing: bool = field(default_factory=_default_tracing)
+    #: Persistent estimate-feedback repository (:mod:`repro.observe.feedback`).
+    #: When on, every query's estimate-vs-actual records are absorbed at
+    #: query end and *future* optimizations consult them: the estimator
+    #: applies bounded cardinality corrections, the plan cache invalidates
+    #: entries with newly recorded bad Q-error, and SCIA/triggers treat
+    #: historically-misestimated fragments as high risk.  Recording itself
+    #: is zero-perturbation (pure reads after the cost clock stops); only
+    #: *subsequent* queries plan differently — which is the point.
+    feedback_enabled: bool = field(default_factory=_default_feedback)
+    #: JSON file backing the feedback repository; empty = memory-only (the
+    #: repository dies with the Database instance).
+    feedback_path: str = field(default_factory=_default_feedback_path)
+    #: A fragment's recorded Q-error must reach this bound before feedback
+    #: acts on it (correction, cache invalidation, risk arming).  Matches
+    #: ``observe.analyze.Q_ERROR_BAD``: below it the histogram estimate is
+    #: considered fine and is left untouched.
+    feedback_q_error_threshold: float = 2.0
+    #: Per-statistics-epoch confidence decay for feedback records.  A record
+    #: observed at catalog stats epoch E is applied at epoch E+k with weight
+    #: ``feedback_decay ** k`` — fresh observations override the histogram
+    #: fully, stale ones fade back toward it as ANALYZE/loads churn the data.
+    feedback_decay: float = 0.9
+    #: Bound on how far a feedback correction may move an estimate, as a
+    #: multiplicative factor (paper-style damping: a single wild observation
+    #: cannot swing an estimate by more than this either way).
+    feedback_max_correction: float = 100.0
+    #: Wall-clock seconds (compile + execute) above which a statement is
+    #: written to the slow-query log as one structured JSON line.  0 (the
+    #: default) disables the log.
+    slow_query_s: float = field(default_factory=_default_slow_query_s)
+    #: Slow-query log destination (appended); empty string logs to stderr.
+    slow_query_path: str = field(default_factory=_default_slow_query_path)
     #: Deterministic seed for sampling/sketches inside the engine.
     seed: int = 0x5EED
 
@@ -484,6 +543,7 @@ class EngineConfig:
             "tracing",
             "zone_map_skipping",
             "server_mode",
+            "feedback_enabled",
         ):
             if not isinstance(getattr(self, flag), bool):
                 raise ConfigError(
@@ -492,6 +552,24 @@ class EngineConfig:
         if self.plan_cache_size <= 0:
             raise ConfigError(
                 f"plan_cache_size must be positive, got {self.plan_cache_size}"
+            )
+        if self.feedback_q_error_threshold < 1.0:
+            raise ConfigError(
+                "feedback_q_error_threshold must be >= 1.0 (Q-error is), "
+                f"got {self.feedback_q_error_threshold}"
+            )
+        if not 0.0 < self.feedback_decay <= 1.0:
+            raise ConfigError(
+                f"feedback_decay must be in (0, 1], got {self.feedback_decay}"
+            )
+        if self.feedback_max_correction < 1.0:
+            raise ConfigError(
+                "feedback_max_correction must be >= 1.0, "
+                f"got {self.feedback_max_correction}"
+            )
+        if self.slow_query_s < 0:
+            raise ConfigError(
+                f"slow_query_s must be non-negative, got {self.slow_query_s}"
             )
 
     @property

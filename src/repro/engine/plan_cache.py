@@ -48,6 +48,7 @@ from ..plans.physical import PlanNode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.parametric import ParametricPlan
+    from ..observe.feedback import FeedbackRepository
     from ..observe.metrics import MetricsRegistry
 
 #: Default number of cached entries (exact + parametric combined).
@@ -72,6 +73,13 @@ class CachedPlan:
     plan: PlanNode
     scia: SciaResult | None
     epoch: int
+    #: Fragment signatures of the cached plan (``observe.feedback``); used
+    #: to proactively invalidate entries whose fragments earn a bad Q-error
+    #: record after the entry was stored.  Empty when feedback is disabled.
+    signatures: frozenset[str] = frozenset()
+    #: Feedback-repository epoch at store time: only records absorbed
+    #: *after* this can poison the entry.
+    feedback_epoch: int = 0
 
 
 @dataclass
@@ -91,6 +99,10 @@ class PlanCacheStats:
     invalidations: int = 0
     evictions: int = 0
     stores: int = 0
+    #: Invalidations caused by the feedback repository recording a bad
+    #: Q-error for one of the entry's fragments (a subset of
+    #: ``invalidations``).
+    feedback_invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -112,6 +124,7 @@ class PlanCacheStats:
             invalidations=self.invalidations,
             evictions=self.evictions,
             stores=self.stores,
+            feedback_invalidations=self.feedback_invalidations,
         )
 
 
@@ -225,12 +238,20 @@ class PlanCache:
             f"/va{int(config.vectorized_agg)}"
         )
 
-    def lookup(self, key: tuple, epoch: int):
+    def lookup(
+        self,
+        key: tuple,
+        epoch: int,
+        feedback: "FeedbackRepository | None" = None,
+    ):
         """The live entry under ``key``, or None.
 
         Entries stamped with an older statistics epoch are dropped and
         counted as invalidations (as well as misses); a hit refreshes the
-        entry's LRU position.
+        entry's LRU position.  When a feedback repository is supplied, an
+        entry is also invalidated if any of its plan-fragment signatures
+        earned a bad Q-error record after the entry was stored — the
+        re-prepared plan then benefits from the feedback corrections.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -245,6 +266,18 @@ class PlanCache:
                 self._bump("invalidations")
                 self._bump("misses")
                 return None
+            signatures = getattr(entry, "signatures", frozenset())
+            if feedback is not None and signatures:
+                poisoned = feedback.poisoned_since(entry.feedback_epoch)
+                if poisoned and not poisoned.isdisjoint(signatures):
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    self.stats.feedback_invalidations += 1
+                    self.stats.misses += 1
+                    self._bump("invalidations")
+                    self._bump("feedback_invalidations")
+                    self._bump("misses")
+                    return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
             self._bump("hits")

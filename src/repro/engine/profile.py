@@ -164,6 +164,16 @@ class ExecutionProfile:
     memory_granted_pages: int = 0
     broker_regrants: int = 0
     broker_reclaims: int = 0
+    #: Feedback-repository telemetry (all zero/empty when the repository is
+    #: disabled).  ``feedback_corrections`` counts plan nodes whose estimate
+    #: this execution ran with a feedback-corrected cardinality;
+    #: ``feedback_records`` how many fragment observations the execution
+    #: wrote back at query end, with ``feedback_worst_q_error``/
+    #: ``feedback_worst_fragment`` naming the worst of them.
+    feedback_corrections: int = 0
+    feedback_records: int = 0
+    feedback_worst_q_error: float = 0.0
+    feedback_worst_fragment: str = ""
     events: list[ReoptimizationEvent] = field(default_factory=list)
     plan_explanations: list[str] = field(default_factory=list)
     remainder_sqls: list[str] = field(default_factory=list)
@@ -243,6 +253,17 @@ class ExecutionProfile:
                 f"vectorized: agg pipelines={self.vectorized_agg_pipelines} "
                 f"probe pipelines={self.vectorized_probe_pipelines} "
                 f"rows folded={self.rows_folded}"
+            )
+        if self.feedback_corrections or self.feedback_records:
+            lines.append(
+                f"feedback: corrections={self.feedback_corrections} "
+                f"records={self.feedback_records} "
+                f"worst q-error={self.feedback_worst_q_error:.2f}"
+                + (
+                    f" on {self.feedback_worst_fragment}"
+                    if self.feedback_worst_fragment
+                    else ""
+                )
             )
         if self.session or self.executed_via != "inline":
             lines.append(

@@ -67,6 +67,11 @@ __all__ = [
     "SessionLease",
 ]
 
+#: Bucket bounds for the broker's page-size histograms (powers of four, in
+#: pages — the default wall-clock-oriented buckets bottom out far below any
+#: real grant).
+_PAGE_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
 
 class SessionLease:
     """One session-statement's slice of the server's page pool.
@@ -218,6 +223,7 @@ class GlobalMemoryBroker:
             lease.regrants = 0  # the initial grant is not a re-grant
             self._leases.append(lease)
             self._bump("broker.leases")
+            self._observe_pages("broker.grant_pages", grant)
             self._set_gauges()
         return lease
 
@@ -248,6 +254,7 @@ class GlobalMemoryBroker:
             if taken > 0:
                 needed -= taken
                 self._bump("broker.reclaims")
+                self._observe_pages("broker.reclaim_pages", taken)
 
     def _redistribute(self) -> None:
         """Top freed pages back up to running leases, arrival order."""
@@ -258,12 +265,21 @@ class GlobalMemoryBroker:
             deficit = other.requested_pages - other.granted_pages
             if deficit <= 0:
                 continue
-            other.apply_grant(other.granted_pages + min(free, deficit))
+            topped_up = min(free, deficit)
+            other.apply_grant(other.granted_pages + topped_up)
             self._bump("broker.regrants")
+            self._observe_pages("broker.regrant_pages", topped_up)
 
     def _bump(self, name: str) -> None:
         if self._metrics is not None:
             self._metrics.counter(name).inc()
+
+    def _observe_pages(self, name: str, pages: int) -> None:
+        """Histogram a grant/reclaim/re-grant size (page-scale buckets, so
+        the distribution of lease resizes is visible on the metrics page
+        next to the existing ``server.admission_wait_s`` latency)."""
+        if self._metrics is not None:
+            self._metrics.histogram(name, buckets=_PAGE_BUCKETS).observe(pages)
 
     def _set_gauges(self) -> None:
         if self._metrics is not None:

@@ -238,6 +238,11 @@ class RuntimeContext:
     #: functions, not the mark hooks), so worker scheduling cannot reorder
     #: the trace.
     tracer: "QueryTracer | None" = None
+    #: Per-node estimate snapshots taken at plan adoption, keyed by node id
+    #: (populated by the dispatcher when the feedback repository is enabled;
+    #: ``None`` when it is disabled).  Pure dict writes — never touches the
+    #: cost clock.
+    estimate_snapshots: dict[int, dict[str, float]] | None = None
 
     @property
     def execution_mode(self) -> str:

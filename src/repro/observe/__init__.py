@@ -13,20 +13,44 @@ The three public pieces:
 * :class:`ExplainAnalyzeReport` (:mod:`repro.observe.analyze`) — the
   result of ``Database.explain_analyze(sql)``: per-node estimated vs.
   actual rows/size/cost, Q-error, and SCIA collector attribution.
+* :class:`FeedbackRepository` (:mod:`repro.observe.feedback`) — the
+  persistent Q-error feedback store (``EngineConfig(feedback_enabled=True)``
+  or ``REPRO_FEEDBACK=1``): normalized plan-fragment signatures mapped to
+  observed cardinalities, consumed by the estimator, the plan cache, SCIA
+  and the re-optimization triggers.
+* :func:`render_prometheus` (:mod:`repro.observe.export`) — Prometheus
+  text exposition of a metrics snapshot (also
+  ``python -m repro.observe.export snapshot.json``), and the slow-query
+  log (:mod:`repro.observe.slowlog`, ``EngineConfig.slow_query_s`` /
+  ``REPRO_SLOW_QUERY``).
 
 Everything here only *reads* engine state — no call into this package
 charges the simulated cost clock, so results are byte-identical with
-observability on or off (proved by ``tests/test_trace_parity.py``).
+observability on or off (proved by ``tests/test_trace_parity.py``).  The
+feedback repository is the deliberate exception: recording still never
+touches the clock (first runs stay byte-identical), but the records it
+keeps change how *future* statements are planned.
 """
 
 from .analyze import ExplainAnalyzeReport, NodeAnalysis, PlanAnalysis, q_error
+from .export import render_prometheus
+from .feedback import (
+    FeedbackRecord,
+    FeedbackRepository,
+    fragment_signature,
+    fragment_text,
+    plan_signatures,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, default_registry
+from .slowlog import build_slow_query_record, emit_slow_query
 from .trace import InstantEvent, QueryTracer, Span
 from .validate import validate_trace
 
 __all__ = [
     "Counter",
     "ExplainAnalyzeReport",
+    "FeedbackRecord",
+    "FeedbackRepository",
     "Gauge",
     "Histogram",
     "InstantEvent",
@@ -35,7 +59,13 @@ __all__ = [
     "PlanAnalysis",
     "QueryTracer",
     "Span",
+    "build_slow_query_record",
     "default_registry",
+    "emit_slow_query",
+    "fragment_signature",
+    "fragment_text",
+    "plan_signatures",
     "q_error",
+    "render_prometheus",
     "validate_trace",
 ]

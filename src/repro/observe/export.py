@@ -1,0 +1,134 @@
+"""Prometheus-style text exposition of a metrics snapshot.
+
+Renders the plain-dict output of
+:meth:`~repro.observe.metrics.MetricsRegistry.snapshot` (counters, gauges,
+fixed-bucket histograms) in the Prometheus text exposition format, with two
+translations the registry's internal shape needs:
+
+* dotted metric names (``plan_cache.hits``) become legal Prometheus names
+  under a common prefix (``repro_plan_cache_hits``), with every illegal
+  character replaced by ``_``;
+* histogram buckets are stored *non-cumulative* (each key counts only its
+  own interval) and are cumulated here, ending in the mandatory
+  ``le="+Inf"`` bucket that equals ``_count``.
+
+The module is deliberately stdlib-only and imports nothing from the engine:
+``python -m repro.observe.export <snapshot.json>`` turns a snapshot file an
+engine dumped earlier (``json.dump(db.metrics_snapshot(), fh)``) into a
+scrape-ready page without loading — or even having — the engine itself.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Mapping
+
+__all__ = ["prometheus_name", "render_prometheus", "main"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_BAD = re.compile(r"^[^a-zA-Z_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """A legal Prometheus metric name for one registry entry."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_OK.sub("_", full)
+    return _LEADING_BAD.sub("_", full)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _bucket_bound(key: str) -> float:
+    """Upper bound of a snapshot bucket key (``le_0.1`` / ``le_inf``)."""
+    text = key[3:] if key.startswith("le_") else key
+    if text == "inf":
+        return float("inf")
+    return float(text)
+
+
+def _render_histogram(lines: list[str], name: str, data: Mapping) -> None:
+    buckets = data.get("buckets", {})
+    bounds = sorted(
+        ((_bucket_bound(key), key) for key in buckets), key=lambda b: b[0]
+    )
+    cumulative = 0
+    for bound, key in bounds:
+        cumulative += int(buckets[key])
+        label = "+Inf" if bound == float("inf") else f"{bound:g}"
+        lines.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
+    if not bounds or bounds[-1][0] != float("inf"):
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_sum {_format_value(data.get('sum', 0.0))}")
+    lines.append(f"{name}_count {_format_value(data.get('count', 0))}")
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping], prefix: str = "repro") -> str:
+    """The Prometheus text-format page for one metrics snapshot."""
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        data = snapshot[raw_name]
+        if not isinstance(data, Mapping):
+            continue
+        kind = data.get("type")
+        name = prometheus_name(raw_name, prefix)
+        if kind == "counter":
+            lines.append(f"# HELP {name} Counter {raw_name!r}.")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(data.get('value', 0.0))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {name} Gauge {raw_name!r}.")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(data.get('value', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {name} Histogram {raw_name!r}.")
+            lines.append(f"# TYPE {name} histogram")
+            _render_histogram(lines, name, data)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: render a snapshot JSON file (``-`` for stdin) for scraping."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    prefix = "repro"
+    if "--prefix" in argv:
+        at = argv.index("--prefix")
+        try:
+            prefix = argv[at + 1]
+        except IndexError:
+            print("--prefix needs a value", file=sys.stderr)
+            return 2
+        del argv[at : at + 2]
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print(
+            "usage: python -m repro.observe.export [--prefix NAME] "
+            "<snapshot.json | ->",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if argv[0] == "-":
+            snapshot = json.load(sys.stdin)
+        else:
+            with open(argv[0], "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(snapshot, dict):
+        print("snapshot must be a JSON object", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_prometheus(snapshot, prefix))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

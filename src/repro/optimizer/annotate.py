@@ -42,6 +42,11 @@ from ..stats.estimator import Estimator, RelProfile, profile_from_table_stats
 from ..storage.catalog import Catalog
 from .cost_model import CostModel, OperatorCost, pages_for
 
+#: Operators whose cardinality is their input's (or, for Limit, an exact
+#: cap on it): the feedback correction already flowed through the child's
+#: profile, so correcting them again would double-apply it.
+_FEEDBACK_PASSTHROUGH = (StatsCollectorNode, ProjectNode, SortNode, LimitNode)
+
 
 class PlanAnnotator:
     """Computes estimate annotations for a physical plan."""
@@ -61,6 +66,9 @@ class PlanAnnotator:
         #: node_id -> observed profile replacing the estimated one.
         self.profile_overrides = dict(profile_overrides or {})
         self.page_size = catalog.page_size
+        #: Fragment-text memo shared across this annotator's lifetime (the
+        #: DP enumerator re-annotates candidates over shared subtrees).
+        self._fragment_memo: dict[int, str] = {}
 
     def annotate(self, plan: PlanNode) -> PlanNode:
         """Annotate the whole tree bottom-up and return it."""
@@ -81,7 +89,79 @@ class PlanAnnotator:
             plan.est.rows = override.rows
             plan.est.row_bytes = override.row_bytes
             plan.est.pages = pages_for(override.rows, override.row_bytes, self.page_size)
+            return plan
+        self._apply_feedback(plan)
         return plan
+
+    def _apply_feedback(self, node: PlanNode) -> None:
+        """Replace the histogram cardinality with a feedback-corrected one.
+
+        Only fires when the estimator carries a feedback repository holding
+        an observation for this fragment that disagrees with the estimate
+        by at least the repository's Q-error threshold; with feedback
+        disabled (or an empty store) annotation is byte-identical to the
+        pre-feedback engine.  Mirrors the ``profile_overrides`` contract:
+        the node's own op_cost keeps its histogram basis, parents pick up
+        the corrected output profile bottom-up, and observed overrides
+        (ground truth from a collector) always win over feedback.
+        """
+        feedback = getattr(self.estimator, "feedback", None)
+        if feedback is None or node.est.profile is None:
+            return
+        if isinstance(node, _FEEDBACK_PASSTHROUGH):
+            return
+        from ..observe.feedback import fragment_signature, join_edge_key
+        from dataclasses import replace as _replace
+
+        signature = fragment_signature(node, self._fragment_memo)
+        histogram_rows = node.est.profile.rows
+        hit = self.estimator.corrected_rows(
+            signature,
+            histogram_rows,
+            self.catalog.stats_epoch,
+            edge_key=join_edge_key(node),
+        )
+        if hit is None:
+            return
+        corrected, record = hit
+        profile = _replace(node.est.profile, rows=corrected)
+        node.est.profile = profile
+        node.est.rows = corrected
+        node.est.pages = pages_for(corrected, profile.row_bytes, self.page_size)
+        # Leaf scans are the one place op_cost derives from catalog state
+        # (page counts) rather than child profiles, so a correction must
+        # re-cost them: a scan of a table the catalog believes is 10x
+        # smaller would otherwise keep its 10x-cheap planned cost, and the
+        # runtime drift against it re-triggers mid-query re-optimization
+        # forever even with every cardinality corrected.  Every other
+        # operator is costed from its (already corrected) children.
+        if isinstance(node, SeqScanNode):
+            self._finish(node, self.cost_model.seq_scan(node.est.pages, corrected))
+        elif isinstance(node, IndexScanNode):
+            index = self.catalog.index_on(node.table_name, node.index_column)
+            if index is not None:
+                table = self.catalog.table(node.table_name)
+                stats = self.catalog.stats_for(node.table_name)
+                cost = self.cost_model.index_scan(
+                    height=index.height,
+                    entries_per_leaf=index.entries_per_leaf,
+                    matches=corrected,
+                    clustered=index.clustered,
+                    rows_per_page=table.rows_per_page,
+                    table_pages=stats.page_count,
+                )
+                self._finish(node, cost)
+        # Plain attribute, surfaced by EXPLAIN ANALYZE; clone_plan's shallow
+        # copies share it, which is fine — it describes the fragment, not
+        # the node instance.
+        node.feedback_correction = {
+            "signature": signature,
+            "histogram_rows": histogram_rows,
+            "observed_rows": record.observed_rows,
+            "corrected_rows": corrected,
+            "source": record.source,
+            "record_q_error": record.q_error,
+        }
 
     # ------------------------------------------------------------------
 

@@ -55,8 +55,12 @@ def tpcd_db() -> Database:
 
 @pytest.fixture(scope="module")
 def switch_db() -> Database:
-    """The running example sized so FULL mode plan-switches at the cut join."""
-    db = Database()
+    """The running example sized so FULL mode plan-switches at the cut join.
+
+    Feedback stays off: these tests need the cold optimizer's misestimate
+    (and the resulting switch) to repeat identically across executions.
+    """
+    db = Database(EngineConfig(feedback_enabled=False))
     build_running_example(
         db, SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
     )
@@ -223,7 +227,12 @@ class TestSwitchDuringParallelProbe:
         # legitimately differ — but rows never may, and different worker
         # counts must agree with each other on everything (merge-mode
         # statistics are schedule-independent by construction).
-        db = Database(EngineConfig(parallel_stats="merge"))
+        # Three executions of one SQL on one engine: pin the feedback loop
+        # off so runs 2 and 3 replan exactly like run 1 (a feedback-corrected
+        # plan would reorder float accumulation and change AVG bits).
+        db = Database(
+            EngineConfig(parallel_stats="merge", feedback_enabled=False)
+        )
         build_running_example(
             db, SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
         )

@@ -79,8 +79,9 @@ def tpcd_db() -> Database:
 @pytest.fixture(scope="module")
 def switch_db() -> Database:
     """The running example sized so FULL mode plan-switches at the cut
-    join, with morsels small enough that build sides fan out too."""
-    db = Database(EngineConfig(morsel_pages=16))
+    join, with morsels small enough that build sides fan out too.
+    Feedback stays off so the switch repeats identically across tests."""
+    db = Database(EngineConfig(morsel_pages=16, feedback_enabled=False))
     build_running_example(
         db, SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
     )

@@ -217,7 +217,8 @@ class TestEpochInvalidation:
         assert len(db.plan_cache) == 0
 
     def test_mid_query_reoptimization_bumps_epoch(self):
-        db = Database()
+        # Feedback off: the test needs the cold misestimate to switch.
+        db = Database(EngineConfig(feedback_enabled=False))
         build_running_example(
             db, SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0)
         )

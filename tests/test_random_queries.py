@@ -21,9 +21,9 @@ from repro.bench.harness import rows_equivalent
 from .oracle import evaluate
 
 
-def build_random_db(seed: int, tables: int = 3) -> Database:
+def build_random_db(seed: int, tables: int = 3, config=None) -> Database:
     """A chain-joinable database: t0(k, v), t1(k, t0_k, v), t2(k, t1_k, v)."""
-    db = Database()
+    db = Database(config)
     rng = random.Random(seed)
     sizes = [rng.randrange(20, 80) for __ in range(tables)]
     for i in range(tables):

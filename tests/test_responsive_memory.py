@@ -20,7 +20,8 @@ def build_db(responsive: bool) -> Database:
     # Q3 under an over-estimating catalog and a tight budget: the big join's
     # estimated maximum does not fit, so it starts on its minimum grant.
     config = EngineConfig().with_updates(
-        query_memory_pages=64, responsive_hash_joins=responsive
+        query_memory_pages=64, responsive_hash_joins=responsive,
+        feedback_enabled=False,  # repeated runs must stay cold
     )
     db = Database(config)
     generate_tpcd(

@@ -23,7 +23,10 @@ from repro.observe.metrics import MetricsRegistry
 
 
 def small_db(config: EngineConfig | None = None) -> Database:
-    db = Database(config or EngineConfig(), metrics=MetricsRegistry())
+    # Session-scoped cache assertions need cold repeat executions; pin the
+    # cross-query feedback loop off even under a REPRO_FEEDBACK=1 suite leg.
+    config = (config or EngineConfig()).with_updates(feedback_enabled=False)
+    db = Database(config, metrics=MetricsRegistry())
     db.create_table("r", [("id", DataType.INTEGER), ("a", DataType.INTEGER)], key=["id"])
     db.create_table("s", [("id", DataType.INTEGER), ("b", DataType.INTEGER)], key=["id"])
     db.load_rows("r", [(i, i % 10) for i in range(500)])

@@ -107,7 +107,11 @@ class TestEndToEndTraceParity:
     @pytest.fixture(scope="class")
     def switch_dbs(self):
         def build(tracing: bool) -> Database:
-            db = Database(EngineConfig(tracing=tracing))
+            # Both engines must make the same cold misestimates; the
+            # feedback loop would teach the second run a different plan.
+            db = Database(
+                EngineConfig(tracing=tracing, feedback_enabled=False)
+            )
             build_running_example(
                 db,
                 SyntheticConfig(
@@ -174,3 +178,97 @@ class TestEndToEndTraceParity:
         assert report.result.rows == baseline.rows
         assert report.result.profile.breakdown == baseline.profile.breakdown
         assert report.result.profile.buffer == baseline.profile.buffer
+
+
+# ----------------------------------------------------------------------
+# Server mode (PR 10, satellite): traces from concurrent sessions
+# ----------------------------------------------------------------------
+
+
+class TestServerModeTracing:
+    """Chrome trace export stays valid when statements run through the
+    query server: concurrent sessions each get a complete, balanced trace;
+    morsel-parallel workers land on per-pid tid lanes; the exported file
+    round-trips through ``observe.validate``'s CLI."""
+
+    @pytest.fixture(scope="class")
+    def server_db(self) -> Database:
+        db = Database(
+            EngineConfig(server_mode=True, max_sessions=4, tracing=True)
+        )
+        build_running_example(
+            db,
+            SyntheticConfig(rel1_rows=20_000, rel3_rows=60_000, correlation=1.0),
+        )
+        return db
+
+    def test_concurrent_sessions_each_get_valid_traces(self, server_db):
+        import threading
+
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def run(name: str) -> None:
+            session = server_db.create_session(name)
+            try:
+                results[name] = session.execute(
+                    RUNNING_EXAMPLE_SQL,
+                    params=SWITCH_PARAMS,
+                    mode=DynamicMode.FULL,
+                )
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=run, args=(name,))
+            for name in ("alice", "bob", "carol")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert len(results) == 3
+        for name, result in results.items():
+            trace = result.profile.trace
+            assert trace is not None, name
+            document = trace.to_chrome()
+            assert validate_trace(document) == [], name
+            assert document["traceEvents"], name
+
+    def test_parallel_morsels_use_per_pid_tid_lanes(self, server_db):
+        session = server_db.create_session("lanes")
+        try:
+            result = session.execute(
+                RUNNING_EXAMPLE_SQL,
+                params=SWITCH_PARAMS,
+                mode=DynamicMode.FULL,
+                execution_mode="parallel",
+                workers=2,
+            )
+        finally:
+            session.close()
+        document = result.profile.trace.to_chrome()
+        assert validate_trace(document) == []
+        events = document["traceEvents"]
+        # Every event belongs to the submitting process...
+        assert {e["pid"] for e in events} == {result.profile.trace.pid}
+        # ...but morsel spans are recorded on their worker's pid as the
+        # tid, so concurrent workers render as separate lanes.
+        assert len({e["tid"] for e in events}) >= 2
+
+    def test_export_round_trips_through_validator_cli(self, server_db, tmp_path):
+        from repro.observe.validate import main as validate_main
+
+        session = server_db.create_session("export")
+        try:
+            result = session.execute(
+                RUNNING_EXAMPLE_SQL, params=SWITCH_PARAMS, mode=DynamicMode.FULL
+            )
+        finally:
+            session.close()
+        path = str(tmp_path / "server-trace.json")
+        result.profile.trace.export_chrome(path)
+        assert validate_main([path]) == 0
